@@ -1,0 +1,75 @@
+"""Experiment T5 -- Section 5.1: running time is dominated by the LP.
+
+The paper argues the total running time equals that of solving an LP with
+O(|S| * |R| * |D|) variables and constraints (the rounding and GAP stages are
+cheaper).  This benchmark sweeps the instance size, records the LP size and
+per-stage wall-clock times, and checks the claimed shape: LP size grows
+linearly with |S||R||D| and the LP solve dominates the pipeline.
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_design
+from repro.core.algorithm import DesignParameters
+from repro.workloads import RandomInstanceConfig, random_problem
+
+SIZES = [
+    (1, 5, 10),
+    (2, 8, 20),
+    (2, 12, 40),
+    (3, 16, 60),
+    (3, 20, 90),
+]
+
+
+def _measure(size: tuple[int, int, int]) -> dict:
+    streams, reflectors, sinks = size
+    problem = random_problem(
+        RandomInstanceConfig(
+            num_streams=streams,
+            num_reflectors=reflectors,
+            num_sinks=sinks,
+            delivery_edge_density=1.0,
+            stream_edge_density=1.0,
+        ),
+        rng=0,
+    )
+    report, row = run_design(problem, DesignParameters(seed=0, retry_rounding=False))
+    return {
+        "|S|*|R|*n": streams * reflectors * sinks,
+        "lp_variables": row["lp_variables"],
+        "lp_constraints": row["lp_constraints"],
+        "lp_seconds": row["lp_seconds"],
+        "rounding_seconds": row["rounding_seconds"],
+        "gap_seconds": row["gap_seconds"],
+        "total_seconds": row["elapsed_seconds"],
+    }
+
+
+def test_t5_running_time_scaling(benchmark):
+    rows = [benchmark.pedantic(_measure, args=(SIZES[2],), rounds=1, iterations=1)]
+    for size in SIZES:
+        if size == SIZES[2]:
+            continue
+        rows.append(_measure(size))
+    rows.sort(key=lambda r: r["|S|*|R|*n"])
+
+    # Shape checks: LP size grows with |S||R|n (within a constant factor of it),
+    # and the LP solve is the dominant stage on the largest instance.
+    assert rows[-1]["lp_variables"] > rows[0]["lp_variables"]
+    ratio_small = rows[0]["lp_variables"] / rows[0]["|S|*|R|*n"]
+    ratio_large = rows[-1]["lp_variables"] / rows[-1]["|S|*|R|*n"]
+    assert 0.05 <= ratio_large <= 3.0 and 0.05 <= ratio_small <= 3.0
+    largest = rows[-1]
+    assert largest["lp_seconds"] >= largest["rounding_seconds"]
+    assert largest["lp_seconds"] >= largest["gap_seconds"]
+    record_experiment(
+        "T5_scaling",
+        format_table(
+            rows,
+            title="Section 5.1 reproduction: pipeline scaling with |S|*|R|*n",
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces (the analogue of the
+paper's tables/figures) and also writes them to ``benchmarks/results/`` so the
+numbers quoted in EXPERIMENTS.md can be regenerated with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record_experiment(name: str, text: str) -> None:
+    """Print an experiment's table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def akamai_problem():
+    """A mid-sized Akamai-like instance shared by several benchmarks."""
+    topology, registry = generate_akamai_like_topology(
+        AkamaiLikeConfig(num_regions=3, colos_per_region=3, num_isps=3, num_streams=3),
+        rng=0,
+    )
+    return topology, registry, topology.to_problem()

@@ -1,0 +1,107 @@
+"""ISP-failure resilience: the value of the Section-6.4 color constraints.
+
+The paper motivates its "color" extension with catastrophic ISP-wide events
+(the 2002 WorldCom outage, the 2001 Cable & Wireless / PSINet de-peering):
+if every copy of a stream reaches a sink through reflectors homed in the same
+ISP, one ISP failure silences that sink.  The color constraints force the
+copies onto *different* ISPs.
+
+This example designs the same deployment twice -- with and without the color
+constraints -- and then knocks out each ISP in turn, measuring (analytically
+and by packet simulation) how many edge regions keep an acceptable stream.
+
+Run with::
+
+    python examples/isp_failure_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro import DesignParameters, design_overlay, design_overlay_extended
+from repro.analysis import format_table
+from repro.core.extensions import color_constrained_parameters
+from repro.network.reliability import demand_success_probability
+from repro.simulation import FailureSchedule, SimulationConfig, simulate_solution
+from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
+
+
+def survivors_after_outage(problem, solution, victim_isp: str) -> int:
+    """Demands that still meet their threshold when ``victim_isp`` is down."""
+    survivors = 0
+    for demand in problem.demands:
+        success = demand_success_probability(
+            problem,
+            demand,
+            solution.reflectors_serving(demand),
+            failed_isps={victim_isp},
+        )
+        if success + 1e-12 >= demand.success_threshold:
+            survivors += 1
+    return survivors
+
+
+def main() -> None:
+    config = AkamaiLikeConfig(
+        num_regions=3, colos_per_region=3, num_isps=3, num_streams=2, reflectors_per_colo=2
+    )
+    topology, registry = generate_akamai_like_topology(config, rng=4)
+    problem = topology.to_problem()
+    print(f"Deployment: {topology.size_summary()}; ISPs: {registry.names()}")
+
+    base_params = DesignParameters(seed=3, repair_shortfall=True)
+    plain = design_overlay(problem, base_params).solution
+    diverse = design_overlay_extended(
+        problem, color_constrained_parameters(base_params)
+    ).solution
+
+    print("\n=== Analytic survivors per single-ISP outage ===")
+    rows = []
+    for victim in registry.names():
+        rows.append(
+            {
+                "failed ISP": victim,
+                "plain design survivors": survivors_after_outage(problem, plain, victim),
+                "color-constrained survivors": survivors_after_outage(
+                    problem, diverse, victim
+                ),
+                "total demands": problem.num_demands,
+            }
+        )
+    print(format_table(rows))
+
+    print("\n=== Packet simulation of the worst outage (per design) ===")
+    node_isp = {r: problem.color(r) for r in problem.reflectors}
+    sim_rows = []
+    for name, solution in (("plain", plain), ("color-constrained", diverse)):
+        worst = None
+        for victim in registry.names():
+            schedule = FailureSchedule.single_isp_outage(victim, 10_000, fraction=1.0)
+            sim = simulate_solution(
+                problem,
+                solution,
+                SimulationConfig(num_packets=10_000, failures=schedule, seed=5),
+                node_isp=node_isp,
+            )
+            row = {
+                "design": name,
+                "failed ISP": victim,
+                "mean loss": sim.mean_loss,
+                "demands within budget": int(
+                    sim.fraction_meeting_threshold * len(sim.demands)
+                ),
+            }
+            if worst is None or row["mean loss"] > worst["mean loss"]:
+                worst = row
+        sim_rows.append(worst)
+    print(format_table(sim_rows, float_format=".4f"))
+
+    print(
+        "\nCost of ISP diversity: "
+        f"plain = {plain.total_cost():.2f}, color-constrained = {diverse.total_cost():.2f}."
+        "\nThe color-constrained design keeps (weakly) more edge regions on the air under"
+        "\nany single-ISP outage -- the stability the paper's Section 6.4 aims for."
+    )
+
+
+if __name__ == "__main__":
+    main()

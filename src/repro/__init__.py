@@ -1,0 +1,68 @@
+"""repro -- Designing Overlay Multicast Networks for Streaming (SPAA 2003).
+
+A faithful, self-contained Python reproduction of the approximation algorithm
+of Andreev, Maggs, Meyerson and Sitaraman for designing three-level overlay
+multicast networks (sources -> reflectors -> edgeservers) that deliver live
+streams subject to capacity, quality (loss) and reliability requirements at
+near-minimum cost.
+
+Quick start
+-----------
+>>> from repro import OverlayDesignProblem, DesignParameters, design_overlay
+>>> problem = OverlayDesignProblem()
+>>> problem.add_stream("concert")
+>>> for r in ("r1", "r2"):
+...     problem.add_reflector(r, cost=10.0, fanout=4)
+...     problem.add_stream_edge("concert", r, loss_probability=0.01, cost=1.0)
+>>> problem.add_sink("boston")
+>>> problem.add_delivery_edge("r1", "boston", loss_probability=0.05, cost=0.5)
+>>> problem.add_delivery_edge("r2", "boston", loss_probability=0.10, cost=0.25)
+>>> problem.add_demand("boston", "concert", success_threshold=0.99)
+>>> report = design_overlay(problem, DesignParameters(seed=7))
+>>> report.solution.success_probability(problem.demands[0]) >= 0.99
+True
+
+Package layout
+--------------
+``repro.core``        the paper's algorithm (LP, rounding, GAP, extensions)
+``repro.lp``          LP modeling/solving substrate
+``repro.flow``        max-flow / min-cost-flow substrate
+``repro.network``     overlay topology, loss models, exact reliability
+``repro.workloads``   synthetic Akamai-like instance generators
+``repro.simulation``  packet-level streaming simulation + failure injection
+``repro.baselines``   greedy / naive / random / single-tree comparison designs
+``repro.analysis``    metrics, audits, experiment helpers
+"""
+
+from repro.core.algorithm import (
+    DesignParameters,
+    DesignReport,
+    design_overlay,
+    fractional_lower_bound,
+    repair_weight_shortfalls,
+)
+from repro.core.extensions import design_overlay_extended
+from repro.core.formulation import ExtensionOptions, build_formulation
+from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, StreamEdge
+from repro.core.rounding import RoundingParameters
+from repro.core.solution import OverlaySolution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Demand",
+    "DeliveryEdge",
+    "DesignParameters",
+    "DesignReport",
+    "ExtensionOptions",
+    "OverlayDesignProblem",
+    "OverlaySolution",
+    "RoundingParameters",
+    "StreamEdge",
+    "build_formulation",
+    "design_overlay",
+    "design_overlay_extended",
+    "fractional_lower_bound",
+    "repair_weight_shortfalls",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis, auditing and experiment helpers.
+
+* :mod:`repro.analysis.audit` -- constraint-violation audits of integral
+  solutions and checks of the paper's approximation guarantees;
+* :mod:`repro.analysis.metrics` -- cost/reliability metrics and cross-
+  algorithm comparisons;
+* :mod:`repro.analysis.tables` -- plain-text / CSV table formatting used by
+  the benchmark harness and EXPERIMENTS.md;
+* :mod:`repro.analysis.experiments` -- parameter sweeps and seed aggregation
+  shared by the benchmarks and the ``examples/`` scripts.
+"""
+
+from repro.analysis.audit import GuaranteeCheck, SolutionAudit, audit_solution, check_paper_guarantees
+from repro.analysis.metrics import (
+    compare_designs,
+    cost_breakdown,
+    cost_ratio,
+    reliability_metrics,
+)
+from repro.analysis.tables import format_csv, format_table
+from repro.analysis.experiments import SweepResult, run_seed_sweep, run_size_sweep
+
+__all__ = [
+    "GuaranteeCheck",
+    "SolutionAudit",
+    "SweepResult",
+    "audit_solution",
+    "check_paper_guarantees",
+    "compare_designs",
+    "cost_breakdown",
+    "cost_ratio",
+    "format_csv",
+    "format_table",
+    "reliability_metrics",
+    "run_seed_sweep",
+    "run_size_sweep",
+]

@@ -1,0 +1,79 @@
+"""Cost and reliability metrics, and cross-algorithm comparisons."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+
+def cost_ratio(solution_cost: float, lower_bound: float) -> float:
+    """Cost divided by a lower bound, with the degenerate cases pinned down."""
+    if lower_bound <= 0:
+        return float("inf") if solution_cost > 0 else 1.0
+    return solution_cost / lower_bound
+
+
+def cost_breakdown(solution: OverlaySolution) -> dict:
+    """Reflector / stream-delivery / assignment cost components of a design."""
+    return {
+        "reflector_cost": solution.reflector_cost(),
+        "stream_delivery_cost": solution.stream_delivery_cost(),
+        "assignment_cost": solution.assignment_cost(),
+        "total_cost": solution.total_cost(),
+    }
+
+
+def reliability_metrics(
+    problem: OverlayDesignProblem, solution: OverlaySolution
+) -> dict:
+    """Aggregate exact-reliability metrics of a design."""
+    demands = problem.demands
+    if not demands:
+        return {
+            "min_success": 1.0,
+            "mean_success": 1.0,
+            "fraction_meeting_threshold": 1.0,
+            "mean_paths_per_demand": 0.0,
+        }
+    successes = np.array([solution.success_probability(d) for d in demands])
+    thresholds = np.array([d.success_threshold for d in demands])
+    paths = np.array([len(solution.reflectors_serving(d)) for d in demands])
+    return {
+        "min_success": float(successes.min()),
+        "mean_success": float(successes.mean()),
+        "fraction_meeting_threshold": float(np.mean(successes + 1e-12 >= thresholds)),
+        "mean_paths_per_demand": float(paths.mean()),
+    }
+
+
+def compare_designs(
+    problem: OverlayDesignProblem,
+    designs: Mapping[str, OverlaySolution],
+    lower_bound: float | None = None,
+    extra_metrics: Mapping[str, Callable[[OverlayDesignProblem, OverlaySolution], float]]
+    | None = None,
+) -> list[dict]:
+    """Build one comparison row per design (the C1 benchmark's table).
+
+    Each row contains the design's cost (and ratio to ``lower_bound`` when
+    given), reliability aggregates and fanout violation, plus any
+    ``extra_metrics`` (name -> callable) supplied by the caller.
+    """
+    rows: list[dict] = []
+    for name, solution in designs.items():
+        row: dict = {"design": name}
+        row.update(cost_breakdown(solution))
+        if lower_bound is not None:
+            row["cost_ratio"] = cost_ratio(solution.total_cost(), lower_bound)
+        row.update(reliability_metrics(problem, solution))
+        row["max_fanout_factor"] = solution.max_fanout_factor()
+        row["unserved_demands"] = len(solution.unserved_demands())
+        if extra_metrics:
+            for metric_name, metric in extra_metrics.items():
+                row[metric_name] = metric(problem, solution)
+        rows.append(row)
+    return rows

@@ -1,0 +1,39 @@
+"""Baseline overlay-design algorithms.
+
+The paper positions its LP-rounding algorithm against simpler strategies
+(greedy set-cover-style heuristics, single multicast trees, naive per-sink
+choices); none of those come with its cost/reliability guarantees.  To make
+that comparison measurable, this subpackage implements each strategy against
+the same :class:`~repro.core.problem.OverlayDesignProblem` interface and
+produces the same :class:`~repro.core.solution.OverlaySolution` type:
+
+* :mod:`repro.baselines.greedy` -- cost-effectiveness greedy (the natural
+  extension of the greedy set-cover algorithm to weighted multi-cover with
+  fanout bookkeeping);
+* :mod:`repro.baselines.naive` -- quality-first per-demand choice, ignoring
+  global cost (the "traditional centralized" strawman of Section 1);
+* :mod:`repro.baselines.random_design` -- random feasible-ish assignment
+  (sanity floor for comparisons);
+* :mod:`repro.baselines.single_tree` -- one reflector per stream, no
+  redundancy (an IP-multicast-like tree, Section 1.4's alternative);
+* :mod:`repro.baselines.lp_bound` -- the fractional LP optimum, the lower
+  bound every cost ratio is measured against.
+"""
+
+from repro.baselines.exact import ExactResult, SearchSpaceTooLarge, exact_design
+from repro.baselines.greedy import greedy_design
+from repro.baselines.lp_bound import lp_lower_bound
+from repro.baselines.naive import naive_quality_first_design
+from repro.baselines.random_design import random_design
+from repro.baselines.single_tree import single_tree_design
+
+__all__ = [
+    "ExactResult",
+    "SearchSpaceTooLarge",
+    "exact_design",
+    "greedy_design",
+    "lp_lower_bound",
+    "naive_quality_first_design",
+    "random_design",
+    "single_tree_design",
+]

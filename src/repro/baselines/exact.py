@@ -1,0 +1,166 @@
+"""Exact (brute-force) solver for tiny instances.
+
+The paper measures its algorithm against the LP optimum because computing the
+true integer optimum is NP-hard (the problem contains set cover).  For *tiny*
+instances, however, the optimum can be found by exhaustive search over the
+per-demand reflector subsets, which gives the test suite and the ablation
+benchmarks a ground truth: the LP bound must be below it, feasible heuristics
+must be above it, and the approximation factor of the main algorithm can be
+measured against the real OPT rather than the LP relaxation.
+
+The search enumerates, for every demand, the candidate-reflector subsets that
+meet its weight requirement (pruned to subsets of size at most
+``max_subset_size``), and then walks the cross product with branch-and-bound
+on cost and on the fanout constraints.  Complexity is exponential;
+:func:`exact_design` refuses instances whose search space exceeds
+``max_search_nodes`` so it cannot be misused on real workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.problem import Demand, OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+_EPS = 1e-12
+
+
+@dataclass
+class ExactResult:
+    """Outcome of the exhaustive search."""
+
+    solution: OverlaySolution
+    optimal_cost: float
+    nodes_explored: int
+
+
+class SearchSpaceTooLarge(ValueError):
+    """Raised when the instance is too big for exhaustive search."""
+
+
+def _feasible_subsets(
+    problem: OverlayDesignProblem, demand: Demand, max_subset_size: int
+) -> list[tuple[str, ...]]:
+    """Candidate-reflector subsets meeting the demand's weight requirement."""
+    required = problem.demand_weight(demand)
+    candidates = problem.candidate_reflectors(demand)
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, min(max_subset_size, len(candidates)) + 1):
+        for subset in combinations(sorted(candidates), size):
+            weight = sum(problem.edge_weight(demand, r) for r in subset)
+            if weight + _EPS >= required:
+                # Skip supersets of an already-feasible subset of smaller size:
+                # they can never be cheaper on the assignment component alone,
+                # but they *can* be cheaper overall by sharing reflector builds,
+                # so we keep them -- only exact duplicates are skipped.
+                subsets.append(subset)
+    return subsets
+
+
+def exact_design(
+    problem: OverlayDesignProblem,
+    max_subset_size: int = 3,
+    max_search_nodes: int = 2_000_000,
+) -> ExactResult:
+    """Find a minimum-cost feasible design by exhaustive search.
+
+    Feasibility means: every demand's weight requirement met (constraint (5))
+    and every reflector within its fanout (constraint (3)).  Raises
+    :class:`SearchSpaceTooLarge` when the product of per-demand subset counts
+    exceeds ``max_search_nodes`` and ``ValueError`` when some demand has no
+    feasible subset (within ``max_subset_size`` reflectors).
+    """
+    problem.validate()
+    demands = problem.demands
+    per_demand_subsets: list[list[tuple[str, ...]]] = []
+    for demand in demands:
+        subsets = _feasible_subsets(problem, demand, max_subset_size)
+        if not subsets:
+            raise ValueError(
+                f"demand {demand.key} cannot be satisfied with subsets of size "
+                f"<= {max_subset_size}"
+            )
+        # Order by assignment cost so branch-and-bound prunes early.
+        subsets.sort(
+            key=lambda subset: sum(problem.assignment_cost(demand, r) for r in subset)
+        )
+        per_demand_subsets.append(subsets)
+
+    space = 1
+    for subsets in per_demand_subsets:
+        space *= len(subsets)
+        if space > max_search_nodes:
+            raise SearchSpaceTooLarge(
+                f"search space exceeds {max_search_nodes} nodes; "
+                "exact_design is only meant for tiny instances"
+            )
+
+    best_cost = float("inf")
+    best_assignment: list[tuple[str, ...]] | None = None
+    nodes = 0
+
+    chosen: list[tuple[str, ...]] = []
+    load: dict[str, int] = {}
+    built: dict[str, int] = {}
+    deliveries: dict[tuple[str, str], int] = {}
+    running_cost = 0.0
+
+    def marginal_cost(demand: Demand, subset: tuple[str, ...]) -> float:
+        cost = 0.0
+        for reflector in subset:
+            cost += problem.assignment_cost(demand, reflector)
+            if built.get(reflector, 0) == 0:
+                cost += problem.reflector_cost(reflector)
+            if deliveries.get((demand.stream, reflector), 0) == 0:
+                cost += problem.stream_edge(demand.stream, reflector).cost
+        return cost
+
+    def apply(demand: Demand, subset: tuple[str, ...], delta: int) -> None:
+        for reflector in subset:
+            load[reflector] = load.get(reflector, 0) + delta
+            built[reflector] = built.get(reflector, 0) + delta
+            key = (demand.stream, reflector)
+            deliveries[key] = deliveries.get(key, 0) + delta
+
+    def recurse(index: int) -> None:
+        nonlocal best_cost, best_assignment, running_cost, nodes
+        nodes += 1
+        if running_cost >= best_cost - 1e-12:
+            return
+        if index == len(demands):
+            best_cost = running_cost
+            best_assignment = list(chosen)
+            return
+        demand = demands[index]
+        for subset in per_demand_subsets[index]:
+            if any(
+                load.get(reflector, 0) + 1 > problem.fanout(reflector)
+                for reflector in subset
+            ):
+                continue
+            cost = marginal_cost(demand, subset)
+            if running_cost + cost >= best_cost - 1e-12:
+                continue
+            chosen.append(subset)
+            apply(demand, subset, +1)
+            running_cost += cost
+            recurse(index + 1)
+            running_cost -= cost
+            apply(demand, subset, -1)
+            chosen.pop()
+
+    recurse(0)
+    if best_assignment is None:
+        raise ValueError("no feasible design exists within the fanout bounds")
+
+    assignments = {
+        demand.key: list(subset) for demand, subset in zip(demands, best_assignment)
+    }
+    solution = OverlaySolution.from_assignments(
+        problem, assignments, metadata={"algorithm": "exact-brute-force"}
+    )
+    return ExactResult(
+        solution=solution, optimal_cost=solution.total_cost(), nodes_explored=nodes
+    )

@@ -1,0 +1,21 @@
+"""Fractional LP lower bound.
+
+The LP relaxation's optimum is a lower bound on the cost of *any* feasible
+integral design, so every approximation-ratio measurement in the benchmark
+harness divides by it.  This module is a thin, documented alias kept in
+``repro.baselines`` so comparative experiments can treat the bound as "one
+more algorithm" in their result tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import fractional_lower_bound
+from repro.core.formulation import ExtensionOptions
+from repro.core.problem import OverlayDesignProblem
+
+
+def lp_lower_bound(
+    problem: OverlayDesignProblem, extensions: ExtensionOptions | None = None
+) -> float:
+    """Optimal objective of the Section-2 LP relaxation (cost lower bound)."""
+    return fractional_lower_bound(problem, extensions)

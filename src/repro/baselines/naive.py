@@ -1,0 +1,57 @@
+"""Quality-first naive baseline.
+
+A caricature of the "traditional centralized" approach of the paper's
+introduction, adapted to the three-level setting: every demand greedily grabs
+the *most reliable* reflector paths (lowest two-hop loss) until its quality
+requirement is met, with no regard for cost and no coordination between
+demands beyond fanout bookkeeping.  It usually meets the quality targets but
+at a much higher cost than the LP-rounding algorithm -- which is exactly the
+trade-off the C1 benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+_EPS = 1e-12
+
+
+def naive_quality_first_design(
+    problem: OverlayDesignProblem,
+    fanout_slack: float = 1.0,
+) -> OverlaySolution:
+    """Serve each demand from its most reliable reflectors until satisfied."""
+    problem.validate()
+
+    assignments: dict[tuple[str, str], list[str]] = {}
+    load: dict[str, int] = {}
+
+    def capacity_left(reflector: str) -> float:
+        return fanout_slack * problem.fanout(reflector) - load.get(reflector, 0)
+
+    # Hardest demands first so they get first pick of the reliable reflectors.
+    demands = sorted(
+        problem.demands, key=lambda d: problem.demand_weight(d), reverse=True
+    )
+    for demand in demands:
+        required = problem.demand_weight(demand)
+        delivered = 0.0
+        candidates = sorted(
+            problem.candidate_reflectors(demand),
+            key=lambda r: problem.path_failure(demand, r),
+        )
+        chosen: list[str] = []
+        for reflector in candidates:
+            if delivered >= required - _EPS:
+                break
+            if capacity_left(reflector) < 1.0:
+                continue
+            chosen.append(reflector)
+            load[reflector] = load.get(reflector, 0) + 1
+            delivered += problem.edge_weight(demand, reflector)
+        assignments[demand.key] = chosen
+
+    return OverlaySolution.from_assignments(
+        problem, assignments, metadata={"algorithm": "naive-quality-first"}
+    )

@@ -1,0 +1,57 @@
+"""Random-assignment baseline.
+
+A deliberately weak comparison point: each demand is served by a uniformly
+random subset of its candidate reflectors (respecting fanout), drawn until
+the weight requirement is met or candidates run out.  Any sensible algorithm
+should beat it on cost at equal reliability; its role in the C1 benchmark is
+to calibrate how much of the gap between the LP-rounding algorithm and the
+greedy heuristic is down to actual optimisation rather than problem slack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+_EPS = 1e-12
+
+
+def random_design(
+    problem: OverlayDesignProblem,
+    rng: np.random.Generator | int | None = None,
+    fanout_slack: float = 1.0,
+) -> OverlaySolution:
+    """Serve each demand from random candidate reflectors until satisfied."""
+    problem.validate()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    assignments: dict[tuple[str, str], list[str]] = {}
+    load: dict[str, int] = {}
+
+    def capacity_left(reflector: str) -> float:
+        return fanout_slack * problem.fanout(reflector) - load.get(reflector, 0)
+
+    demand_order = list(problem.demands)
+    rng.shuffle(demand_order)
+    for demand in demand_order:
+        required = problem.demand_weight(demand)
+        delivered = 0.0
+        candidates = problem.candidate_reflectors(demand)
+        rng.shuffle(candidates)
+        chosen: list[str] = []
+        for reflector in candidates:
+            if delivered >= required - _EPS:
+                break
+            if capacity_left(reflector) < 1.0:
+                continue
+            chosen.append(reflector)
+            load[reflector] = load.get(reflector, 0) + 1
+            delivered += problem.edge_weight(demand, reflector)
+        assignments[demand.key] = chosen
+
+    return OverlaySolution.from_assignments(
+        problem, assignments, metadata={"algorithm": "random-design"}
+    )

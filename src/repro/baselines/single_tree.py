@@ -1,0 +1,72 @@
+"""Single-tree (IP-multicast-like) baseline.
+
+Section 1.4 of the paper describes classic IP multicast and reflector trees:
+one distribution tree per stream, so "if a node or link in a multicast tree
+fails, all of the leaves downstream of the failure lose access to the stream"
+and every packet lost upstream is lost by every leaf.
+
+This baseline builds the analogous design in the three-level setting: each
+stream is distributed through as few reflectors as possible (each demand gets
+exactly one serving reflector), chosen to maximise reliability subject to
+fanout.  It is cheap but has no redundancy, so its measured post-
+reconstruction loss and its resilience to ISP outages are both poor -- the
+contrast the C1 benchmark and the failure-resilience example highlight.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+
+def single_tree_design(
+    problem: OverlayDesignProblem,
+    fanout_slack: float = 1.0,
+    prefer_cheap: bool = False,
+) -> OverlaySolution:
+    """Serve every demand through exactly one reflector (no redundancy).
+
+    Reflectors are preferred by reliability (or by cost when ``prefer_cheap``)
+    and shared across the demands of a stream so the "tree" stays narrow.
+    """
+    problem.validate()
+
+    assignments: dict[tuple[str, str], list[str]] = {}
+    load: dict[str, int] = {}
+
+    def capacity_left(reflector: str) -> float:
+        return fanout_slack * problem.fanout(reflector) - load.get(reflector, 0)
+
+    # Group demands per stream so reflector reuse (tree sharing) is possible.
+    for stream in problem.streams:
+        stream_demands = [d for d in problem.demands if d.stream == stream]
+        opened: set[str] = set()
+        for demand in stream_demands:
+            candidates = problem.candidate_reflectors(demand)
+            if not candidates:
+                assignments[demand.key] = []
+                continue
+
+            def preference(reflector: str) -> tuple:
+                reuse_bonus = 0 if reflector in opened else 1
+                if prefer_cheap:
+                    metric = problem.assignment_cost(demand, reflector)
+                else:
+                    metric = problem.path_failure(demand, reflector)
+                return (reuse_bonus, metric)
+
+            chosen = None
+            for reflector in sorted(candidates, key=preference):
+                if capacity_left(reflector) >= 1.0:
+                    chosen = reflector
+                    break
+            if chosen is None:
+                assignments[demand.key] = []
+                continue
+            assignments[demand.key] = [chosen]
+            opened.add(chosen)
+            load[chosen] = load.get(chosen, 0) + 1
+
+    return OverlaySolution.from_assignments(
+        problem, assignments, metadata={"algorithm": "single-tree"}
+    )

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+A small operational front-end around the library, mirroring how the paper's
+system would be driven in production: generate (or load) an instance, design
+the overlay, audit it, and optionally replay it through the packet simulator.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli generate --workload akamai --seed 0 --out instance.json
+    python -m repro.cli design   --problem instance.json --seed 7 --repair \
+                                 --out design.json
+    python -m repro.cli evaluate --problem instance.json --solution design.json
+    python -m repro.cli simulate --problem instance.json --solution design.json \
+                                 --packets 20000
+
+Every subcommand prints a human-readable table; files are the JSON documents
+defined in :mod:`repro.core.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis import audit_solution, compare_designs, format_table
+from repro.baselines import (
+    greedy_design,
+    naive_quality_first_design,
+    random_design,
+    single_tree_design,
+)
+from repro.core.algorithm import DesignParameters, design_overlay
+from repro.core.extensions import color_constrained_parameters, design_overlay_extended
+from repro.core.rounding import RoundingParameters
+from repro.core.serialization import (
+    dump_problem,
+    dump_solution,
+    load_problem,
+    load_solution,
+)
+from repro.simulation import SimulationConfig, simulate_solution
+from repro.workloads import (
+    AkamaiLikeConfig,
+    FlashCrowdConfig,
+    RandomInstanceConfig,
+    generate_akamai_like_topology,
+    generate_flash_crowd_scenario,
+    random_problem,
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload == "akamai":
+        topology, _registry = generate_akamai_like_topology(AkamaiLikeConfig(), rng=args.seed)
+        problem = topology.to_problem()
+    elif args.workload == "flash-crowd":
+        topology, _registry = generate_flash_crowd_scenario(FlashCrowdConfig(), rng=args.seed)
+        problem = topology.to_problem()
+    else:  # random
+        problem = random_problem(RandomInstanceConfig(), rng=args.seed)
+    dump_problem(problem, args.out)
+    print(f"wrote {problem} to {args.out}")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    issues = problem.feasibility_report()
+    if issues:
+        print(f"error: {len(issues)} demands cannot be satisfied by any design:", file=sys.stderr)
+        for issue in issues[:10]:
+            print(
+                f"  {issue.demand.key}: needs weight {issue.required_weight:.2f}, "
+                f"only {issue.available_weight:.2f} available",
+                file=sys.stderr,
+            )
+        return 2
+    parameters = DesignParameters(
+        rounding=RoundingParameters(c=args.multiplier, seed=args.seed),
+        repair_shortfall=args.repair,
+        seed=args.seed,
+    )
+    try:
+        if args.isp_diversity:
+            report = design_overlay_extended(problem, color_constrained_parameters(parameters))
+        else:
+            report = design_overlay(problem, parameters)
+    except ValueError as error:
+        # Typically: the LP (with the requested extensions) is infeasible, e.g.
+        # ISP-diversity constraints on an instance without enough distinct ISPs.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    solution = report.solution
+    if args.out:
+        dump_solution(solution, args.out)
+    summary = report.summary()
+    rows = [{"metric": key, "value": value} for key, value in summary.items() if key != "stage_seconds"]
+    print(format_table(rows, title=f"design of {problem.name}"))
+    if args.out:
+        print(f"\nwrote design to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    solution = load_solution(args.solution, problem)
+    audit = audit_solution(problem, solution)
+    rows = [{"metric": key, "value": value} for key, value in {**solution.summary(), **audit.summary()}.items()]
+    print(format_table(rows, title=f"evaluation of {args.solution}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    report = design_overlay(
+        problem,
+        DesignParameters(
+            rounding=RoundingParameters(c=args.multiplier, seed=args.seed),
+            repair_shortfall=True,
+            seed=args.seed,
+        ),
+    )
+    designs = {
+        "spaa03+repair": report.solution,
+        "greedy": greedy_design(problem),
+        "naive-quality-first": naive_quality_first_design(problem),
+        "single-tree": single_tree_design(problem),
+        "random": random_design(problem, rng=args.seed),
+    }
+    rows = compare_designs(problem, designs, lower_bound=report.lp_lower_bound)
+    print(
+        format_table(
+            rows,
+            columns=[
+                "design",
+                "total_cost",
+                "cost_ratio",
+                "mean_success",
+                "fraction_meeting_threshold",
+                "max_fanout_factor",
+            ],
+            title=f"design comparison on {problem.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    solution = load_solution(args.solution, problem)
+    config = SimulationConfig(num_packets=args.packets, seed=args.seed)
+    sim = simulate_solution(problem, solution, config, rng=np.random.default_rng(args.seed))
+    rows = [
+        {
+            "demand": f"{key[0]}/{key[1]}",
+            "paths": result.paths,
+            "loss_rate": result.loss_rate,
+            "worst_window_loss": result.worst_window_loss,
+            "meets_threshold": result.meets_threshold,
+        }
+        for key, result in ((r.demand_key, r) for r in sim.demands)
+    ]
+    print(format_table(rows, title=f"packet simulation ({args.packets} packets)"))
+    print(f"\nmean loss {sim.mean_loss:.4f}; {sim.fraction_meeting_threshold:.0%} of demands within budget")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Overlay multicast network designer (SPAA'03 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic problem instance")
+    generate.add_argument("--workload", choices=["akamai", "flash-crowd", "random"], default="akamai")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output problem JSON path")
+    generate.set_defaults(func=_cmd_generate)
+
+    design = sub.add_parser("design", help="design an overlay for a problem JSON")
+    design.add_argument("--problem", required=True)
+    design.add_argument("--out", help="output solution JSON path")
+    design.add_argument("--seed", type=int, default=0)
+    design.add_argument("--multiplier", type=float, default=8.0, help="rounding multiplier c")
+    design.add_argument("--repair", action="store_true", help="greedy repair of weight shortfalls")
+    design.add_argument(
+        "--isp-diversity", action="store_true", help="enable the Section-6.4 color constraints"
+    )
+    design.set_defaults(func=_cmd_design)
+
+    evaluate = sub.add_parser("evaluate", help="audit a solution JSON against its problem")
+    evaluate.add_argument("--problem", required=True)
+    evaluate.add_argument("--solution", required=True)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    compare = sub.add_parser("compare", help="compare the algorithm against the baselines")
+    compare.add_argument("--problem", required=True)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--multiplier", type=float, default=8.0)
+    compare.set_defaults(func=_cmd_compare)
+
+    simulate = sub.add_parser("simulate", help="packet-level replay of a solution")
+    simulate.add_argument("--problem", required=True)
+    simulate.add_argument("--solution", required=True)
+    simulate.add_argument("--packets", type=int, default=10_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used both by ``python -m repro.cli`` and the tests."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,305 @@
+"""The end-to-end overlay design pipeline: LP -> rounding -> GAP -> solution.
+
+:func:`design_overlay` is the library's main entry point.  It follows the
+paper exactly:
+
+1. build the Section-2 LP relaxation (:mod:`repro.core.formulation`) --
+   optionally with the Section-6 extensions -- and solve it;
+2. apply the Section-3 randomized rounding (:mod:`repro.core.rounding`),
+   optionally redrawing until the weight / fanout audit accepts the draw;
+3. apply the Section-5 modified-GAP rounding (:mod:`repro.core.gap`) to turn
+   the remaining fractional assignment variables into a 0/1 solution;
+4. assemble an :class:`repro.core.solution.OverlaySolution` and, optionally,
+   run a greedy *repair* pass that tops up demands left short of their
+   requirement using spare fanout ("heuristics based on the algorithm",
+   Section 7).
+
+Every stage's intermediate result and wall-clock time is recorded in the
+returned :class:`DesignReport`, which is what the benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.formulation import ExtensionOptions, OverlayFormulation, build_formulation
+from repro.core.gap import GapResult, gap_round
+from repro.core.lp_solution import FractionalSolution, RoundedSolution
+from repro.core.problem import Demand, OverlayDesignProblem
+from repro.core.rounding import (
+    RoundingAudit,
+    RoundingParameters,
+    audit_rounding,
+    round_solution,
+    round_solution_with_retries,
+)
+from repro.core.solution import OverlaySolution
+
+
+@dataclass
+class DesignParameters:
+    """Knobs of the full pipeline.
+
+    Attributes
+    ----------
+    rounding:
+        Parameters of the Section-3 randomized rounding (multiplier ``c``,
+        target slack ``delta``, seed).
+    extensions:
+        Which Section-6 constraints to include in the LP.
+    retry_rounding:
+        Redraw the rounding until the audit accepts it (Monte Carlo -> Las
+        Vegas); ``max_rounding_attempts`` bounds the redraws.
+    max_rounding_attempts:
+        Upper bound on redraws when ``retry_rounding`` is set.
+    keep_degenerate_box:
+        See :mod:`repro.core.gap`; keeping it True avoids leaving demands with
+        less than one unit of fractional mass completely unserved.
+    repair_shortfall:
+        After the GAP stage, greedily add assignments (respecting a fanout
+        slack of ``repair_fanout_slack``) for demands still below their
+        required weight.  Off by default so that the measured guarantees are
+        those of the paper's algorithm; examples enable it because a deployed
+        system would.
+    repair_fanout_slack:
+        Fanout multiple the repair pass is allowed to use (4.0 matches the
+        paper's final guarantee).
+    seed:
+        Convenience override for ``rounding.seed``.
+    """
+
+    rounding: RoundingParameters = field(default_factory=RoundingParameters)
+    extensions: ExtensionOptions = field(default_factory=ExtensionOptions)
+    retry_rounding: bool = True
+    max_rounding_attempts: int = 20
+    keep_degenerate_box: bool = True
+    repair_shortfall: bool = False
+    repair_fanout_slack: float = 4.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed is not None:
+            self.rounding = RoundingParameters(
+                c=self.rounding.c, delta=self.rounding.delta, seed=self.seed
+            )
+
+
+@dataclass
+class DesignReport:
+    """Everything produced along the pipeline, for inspection and benchmarking.
+
+    Attributes
+    ----------
+    solution:
+        The final integral overlay design.
+    fractional:
+        The optimal LP solution (its objective is the lower bound used for
+        approximation-ratio measurements).
+    rounded:
+        The state after Section-3 rounding.
+    rounding_audit:
+        Weight / fanout violation audit of the accepted rounding draw.
+    gap:
+        The Section-5 GAP result.
+    formulation_size:
+        (num variables, num constraints) of the LP.
+    stage_seconds:
+        Wall-clock time per stage ("formulate", "solve_lp", "rounding", "gap",
+        "repair").
+    rounding_attempts:
+        Number of rounding draws used.
+    lp_lower_bound:
+        Alias for ``fractional.objective``.
+    """
+
+    solution: OverlaySolution
+    fractional: FractionalSolution
+    rounded: RoundedSolution
+    rounding_audit: RoundingAudit
+    gap: GapResult
+    formulation_size: tuple[int, int]
+    stage_seconds: dict[str, float]
+    rounding_attempts: int
+
+    @property
+    def lp_lower_bound(self) -> float:
+        return self.fractional.objective
+
+    @property
+    def cost_ratio(self) -> float:
+        """Final cost divided by the LP lower bound (>= 1; paper bound: c log n)."""
+        lower = self.lp_lower_bound
+        if lower <= 0:
+            return float("inf") if self.solution.total_cost() > 0 else 1.0
+        return self.solution.total_cost() / lower
+
+    def summary(self) -> dict:
+        info = self.solution.summary()
+        info.update(
+            {
+                "lp_lower_bound": self.lp_lower_bound,
+                "cost_ratio": self.cost_ratio,
+                "lp_variables": self.formulation_size[0],
+                "lp_constraints": self.formulation_size[1],
+                "rounding_attempts": self.rounding_attempts,
+                "stage_seconds": dict(self.stage_seconds),
+            }
+        )
+        return info
+
+
+def design_overlay(
+    problem: OverlayDesignProblem,
+    parameters: DesignParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> DesignReport:
+    """Design an overlay multicast network for ``problem``.
+
+    This is the full approximation algorithm of the paper; see
+    :class:`DesignParameters` for the available knobs.  Raises ``ValueError``
+    if the instance is structurally invalid or its LP relaxation is infeasible
+    (e.g. some demand cannot reach enough reflectors -- use
+    :meth:`OverlayDesignProblem.feasibility_report` for diagnostics).
+    """
+    parameters = parameters or DesignParameters()
+    if rng is None:
+        rng = np.random.default_rng(parameters.rounding.seed)
+    timings: dict[str, float] = {}
+
+    # Stage 1: formulation + LP solve -----------------------------------------
+    start = time.perf_counter()
+    formulation = build_formulation(problem, parameters.extensions)
+    timings["formulate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lp_solution = formulation.solve()
+    timings["solve_lp"] = time.perf_counter() - start
+    fractional = formulation.fractional_solution(lp_solution).support()
+
+    # Stage 2: randomized rounding ---------------------------------------------
+    start = time.perf_counter()
+    if parameters.retry_rounding:
+        rounded, audit, attempts = round_solution_with_retries(
+            problem,
+            fractional,
+            parameters.rounding,
+            rng,
+            max_attempts=parameters.max_rounding_attempts,
+        )
+    else:
+        rounded = round_solution(problem, fractional, parameters.rounding, rng)
+        audit = audit_rounding(problem, rounded)
+        attempts = 1
+    timings["rounding"] = time.perf_counter() - start
+
+    # Stage 3: modified GAP rounding -------------------------------------------
+    start = time.perf_counter()
+    gap_result = gap_round(problem, rounded, parameters.keep_degenerate_box)
+    timings["gap"] = time.perf_counter() - start
+
+    solution = OverlaySolution.from_assignments(
+        problem,
+        gap_result.assignments,
+        metadata={
+            "algorithm": "spaa03-lp-rounding",
+            "multiplier": rounded.multiplier,
+            "rounding_attempts": attempts,
+        },
+    )
+
+    # Stage 4 (optional): greedy repair of weight shortfalls --------------------
+    start = time.perf_counter()
+    if parameters.repair_shortfall:
+        repaired = repair_weight_shortfalls(
+            problem, solution, fanout_slack=parameters.repair_fanout_slack
+        )
+        solution = repaired
+    timings["repair"] = time.perf_counter() - start
+
+    return DesignReport(
+        solution=solution,
+        fractional=fractional,
+        rounded=rounded,
+        rounding_audit=audit,
+        gap=gap_result,
+        formulation_size=(formulation.num_variables, formulation.num_constraints),
+        stage_seconds=timings,
+        rounding_attempts=attempts,
+    )
+
+
+def repair_weight_shortfalls(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    fanout_slack: float = 4.0,
+) -> OverlaySolution:
+    """Greedy post-processing: top up demands that fall short of their weight.
+
+    For every demand whose delivered weight is below its requirement, add the
+    cheapest-per-weight unused candidate reflectors until the requirement is
+    met or no reflector has spare (slackened) fanout.  This is the kind of
+    practical heuristic layered on top of the approximation algorithm that the
+    paper's Section 7 anticipates; the approximation guarantee is unaffected
+    because assignments are only ever added within the already-allowed fanout
+    slack.
+    """
+    assignments = {key: list(reflectors) for key, reflectors in solution.assignments.items()}
+    load: dict[str, int] = {}
+    for reflectors in assignments.values():
+        for reflector in reflectors:
+            load[reflector] = load.get(reflector, 0) + 1
+
+    def capacity_left(reflector: str) -> float:
+        return fanout_slack * problem.fanout(reflector) - load.get(reflector, 0)
+
+    for demand in problem.demands:
+        key = demand.key
+        required = problem.demand_weight(demand)
+        current = set(assignments.get(key, []))
+        delivered = sum(problem.edge_weight(demand, r) for r in current)
+        if delivered >= required - 1e-12:
+            continue
+        candidates = [
+            reflector
+            for reflector in problem.candidate_reflectors(demand)
+            if reflector not in current and capacity_left(reflector) >= 1.0
+        ]
+        # Cheapest additional cost per unit of weight first.
+        candidates.sort(
+            key=lambda r: (
+                problem.assignment_cost(demand, r)
+                / max(problem.edge_weight(demand, r), 1e-12)
+            )
+        )
+        for reflector in candidates:
+            if delivered >= required - 1e-12:
+                break
+            assignments.setdefault(key, []).append(reflector)
+            current.add(reflector)
+            load[reflector] = load.get(reflector, 0) + 1
+            delivered += problem.edge_weight(demand, reflector)
+
+    repaired = OverlaySolution.from_assignments(problem, assignments, metadata=dict(solution.metadata))
+    repaired.metadata["repaired"] = True
+    return repaired
+
+
+def fractional_lower_bound(
+    problem: OverlayDesignProblem, extensions: ExtensionOptions | None = None
+) -> float:
+    """Solve only the LP relaxation and return its objective (the OPT lower bound)."""
+    formulation = build_formulation(problem, extensions)
+    lp_solution = formulation.solve()
+    return formulation.fractional_solution(lp_solution).objective
+
+
+__all__ = [
+    "DesignParameters",
+    "DesignReport",
+    "design_overlay",
+    "fractional_lower_bound",
+    "repair_weight_shortfalls",
+]

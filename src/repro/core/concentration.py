@@ -1,0 +1,120 @@
+"""Hoeffding--Chernoff concentration bounds (Section 4 and Appendix A).
+
+The analysis of the randomized rounding uses a Chernoff-type bound for sums of
+independent random variables bounded in ``[0, 1]`` (Theorem 4.2 in the paper,
+proved in Appendix A from Hoeffding's inequality):
+
+.. math::
+
+    \\Pr[S \\le (1-\\delta)\\mu] \\le \\exp(-\\delta^2 \\mu / 2), \\qquad
+    \\Pr[S \\ge (1+\\delta)\\mu] \\le \\exp(-\\delta^2 \\mu / 3).
+
+These functions are used in three places:
+
+* :mod:`repro.core.rounding` exposes the multiplier choice ``delta^2 c = 4``
+  that the paper derives from the bound (Lemma 4.3);
+* the T7 benchmark compares the analytic tails with empirical tail frequencies;
+* the test suite checks the algebraic relationships (monotonicity, the
+  Hoeffding form dominating the simplified form, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def chernoff_lower_tail(mu: float, delta: float) -> float:
+    """Bound on ``Pr[S <= (1 - delta) * mu]`` for independent [0,1] summands."""
+    _check_args(mu, delta)
+    return math.exp(-(delta**2) * mu / 2.0)
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Bound on ``Pr[S >= (1 + delta) * mu]`` for independent [0,1] summands."""
+    _check_args(mu, delta)
+    return math.exp(-(delta**2) * mu / 3.0)
+
+
+def hoeffding_upper_tail(n: int, mu: float, t: float) -> float:
+    """Hoeffding's exact exponential bound on ``Pr[S - mu >= t]`` (Theorem A.1).
+
+    ``n`` is the number of summands, ``mu`` the expectation of the sum and
+    ``0 < t < n - mu``.  The Appendix derives the simpler
+    :func:`chernoff_upper_tail` from this expression; the property tests check
+    the domination.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < t < n - mu:
+        raise ValueError(f"t must lie in (0, n - mu) = (0, {n - mu}), got {t}")
+    if mu <= 0:
+        return 1.0
+    first = (mu / (mu + t)) ** (mu + t)
+    second = ((n - mu) / (n - mu - t)) ** (n - mu - t)
+    return first * second
+
+
+def multiplier_for_failure_probability(delta: float, exponent: float = 4.0) -> float:
+    """The paper's choice of the rounding multiplier constant ``c``.
+
+    Lemma 4.3 wants each of the ``n`` weight constraints to fail with
+    probability at most ``n^{-delta^2 c / 2}``; a union bound over ``n``
+    constraints with target overall failure ``1/n`` requires
+    ``delta^2 * c = exponent`` with ``exponent = 4`` (the paper: "we need to
+    set delta^2 * c = 4.  If delta = 1/4 then c = 64").
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    return exponent / delta**2
+
+
+def weight_violation_probability(delta: float, c: float, n: int) -> float:
+    """Paper's bound on the probability that one weight constraint is violated.
+
+    After rounding with multiplier ``c * log n``, a fixed weight constraint is
+    short of ``(1 - delta)`` times its requirement with probability at most
+    ``n^{-delta^2 c / 2}`` (Section 4, using ``mu >= c log n``).
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    if n == 1:
+        # log(1) = 0: the bound degenerates; report the trivial bound.
+        return 1.0
+    return float(n ** (-(delta**2) * c / 2.0))
+
+
+def empirical_tail_frequency(
+    samples: np.ndarray, mu: float, delta: float, side: str = "lower"
+) -> float:
+    """Fraction of sample sums falling in the tail the bound talks about.
+
+    Parameters
+    ----------
+    samples:
+        1-D array of observed sums ``S`` (one entry per independent trial).
+    mu:
+        The expectation of the sum.
+    delta:
+        Relative deviation.
+    side:
+        ``"lower"`` for ``S <= (1-delta) mu``; ``"upper"`` for ``S >= (1+delta) mu``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    if side == "lower":
+        return float(np.mean(samples <= (1.0 - delta) * mu))
+    if side == "upper":
+        return float(np.mean(samples >= (1.0 + delta) * mu))
+    raise ValueError(f"side must be 'lower' or 'upper', got {side!r}")
+
+
+def _check_args(mu: float, delta: float) -> None:
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")

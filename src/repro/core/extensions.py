@@ -1,0 +1,182 @@
+"""High-level drivers for the Section 6 extensions.
+
+Section 6 of the paper discusses several generalizations of the base problem:
+
+* **6.1 bandwidth on reflectors** -- streams of different bitrates consume the
+  reflector fanout proportionally to their bandwidth ``B^k``.  This only
+  changes the fanout constraints of the LP ((3')/(4')), so it is handled by
+  :class:`repro.core.formulation.ExtensionOptions(use_bandwidth=True)` and the
+  unchanged pipeline.
+* **6.2 capacities on all arcs** -- the paper proves no constant-factor
+  guarantee is possible (it would imply one for set cover); the LP can still
+  carry the constraint (8), and the rounding violates it by ``O(log n)``.
+* **6.3 capacities between reflectors and sinks** and **6.4 color
+  constraints** -- these survive into the GAP stage as *entangled edge sets*
+  and require the path-formulation rounding of Section 6.5
+  (:mod:`repro.core.path_rounding`).
+
+:func:`design_overlay_extended` runs the full pipeline with any combination of
+these, swapping the plain GAP stage for the path rounding whenever entangled
+constraints are present.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.algorithm import DesignParameters, DesignReport, repair_weight_shortfalls
+from repro.core.formulation import ExtensionOptions, build_formulation
+from repro.core.gap import GapResult, gap_round
+from repro.core.path_rounding import (
+    EntangledSet,
+    PathRoundingResult,
+    arc_capacity_entangled_sets,
+    color_entangled_sets,
+    path_round,
+)
+from repro.core.problem import OverlayDesignProblem
+from repro.core.rounding import audit_rounding, round_solution, round_solution_with_retries
+from repro.core.solution import OverlaySolution
+
+
+@dataclass
+class ExtendedDesignReport(DesignReport):
+    """A :class:`DesignReport` plus the path-rounding details (when used)."""
+
+    path_rounding: PathRoundingResult | None = None
+    entangled_sets: list[EntangledSet] = field(default_factory=list)
+
+
+def design_overlay_extended(
+    problem: OverlayDesignProblem,
+    parameters: DesignParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> ExtendedDesignReport:
+    """Run the pipeline with the Section-6 extensions requested in ``parameters``.
+
+    When ``parameters.extensions`` enables arc capacities or color constraints,
+    the final integralization uses the Section-6.5 path rounding instead of the
+    plain min-cost-flow GAP rounding; otherwise this behaves exactly like
+    :func:`repro.core.algorithm.design_overlay`.
+    """
+    parameters = parameters or DesignParameters()
+    if rng is None:
+        rng = np.random.default_rng(parameters.rounding.seed)
+    options = parameters.extensions
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    formulation = build_formulation(problem, options)
+    timings["formulate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lp_solution = formulation.solve()
+    timings["solve_lp"] = time.perf_counter() - start
+    fractional = formulation.fractional_solution(lp_solution).support()
+
+    start = time.perf_counter()
+    if parameters.retry_rounding:
+        rounded, audit, attempts = round_solution_with_retries(
+            problem,
+            fractional,
+            parameters.rounding,
+            rng,
+            max_attempts=parameters.max_rounding_attempts,
+        )
+    else:
+        rounded = round_solution(problem, fractional, parameters.rounding, rng)
+        audit = audit_rounding(problem, rounded)
+        attempts = 1
+    timings["rounding"] = time.perf_counter() - start
+
+    needs_path_rounding = options.use_color_constraints or options.use_arc_capacities
+
+    entangled: list[EntangledSet] = []
+    path_result: PathRoundingResult | None = None
+    start = time.perf_counter()
+    if needs_path_rounding:
+        support = list(rounded.x.keys())
+        if options.use_color_constraints:
+            entangled.extend(color_entangled_sets(problem, support))
+        if options.use_arc_capacities:
+            entangled.extend(arc_capacity_entangled_sets(problem, support))
+        path_result = path_round(
+            problem,
+            rounded,
+            entangled_sets=entangled,
+            rng=rng,
+            keep_degenerate_box=parameters.keep_degenerate_box,
+        )
+        gap_result = GapResult(
+            assignments=path_result.assignments,
+            flow_value=float(path_result.boxes_served),
+            boxes_total=path_result.boxes_total,
+            boxes_served=path_result.boxes_served,
+            cost=path_result.cost,
+        )
+    else:
+        gap_result = gap_round(problem, rounded, parameters.keep_degenerate_box)
+    timings["gap"] = time.perf_counter() - start
+
+    solution = OverlaySolution.from_assignments(
+        problem,
+        gap_result.assignments,
+        metadata={
+            "algorithm": "spaa03-lp-rounding-extended",
+            "multiplier": rounded.multiplier,
+            "rounding_attempts": attempts,
+            "path_rounding": needs_path_rounding,
+        },
+    )
+
+    start = time.perf_counter()
+    if parameters.repair_shortfall:
+        solution = repair_weight_shortfalls(
+            problem, solution, fanout_slack=parameters.repair_fanout_slack
+        )
+    timings["repair"] = time.perf_counter() - start
+
+    return ExtendedDesignReport(
+        solution=solution,
+        fractional=fractional,
+        rounded=rounded,
+        rounding_audit=audit,
+        gap=gap_result,
+        formulation_size=(formulation.num_variables, formulation.num_constraints),
+        stage_seconds=timings,
+        rounding_attempts=attempts,
+        path_rounding=path_result,
+        entangled_sets=entangled,
+    )
+
+
+def color_constrained_parameters(
+    base: DesignParameters | None = None,
+) -> DesignParameters:
+    """Convenience: parameters with the Section-6.4 color constraints switched on."""
+    base = base or DesignParameters()
+    return DesignParameters(
+        rounding=base.rounding,
+        extensions=ExtensionOptions(
+            use_bandwidth=base.extensions.use_bandwidth,
+            use_reflector_capacities=base.extensions.use_reflector_capacities,
+            use_arc_capacities=base.extensions.use_arc_capacities,
+            use_color_constraints=True,
+            drop_cutting_plane=base.extensions.drop_cutting_plane,
+        ),
+        retry_rounding=base.retry_rounding,
+        max_rounding_attempts=base.max_rounding_attempts,
+        keep_degenerate_box=base.keep_degenerate_box,
+        repair_shortfall=base.repair_shortfall,
+        repair_fanout_slack=base.repair_fanout_slack,
+    )
+
+
+__all__ = [
+    "ExtendedDesignReport",
+    "color_constrained_parameters",
+    "design_overlay_extended",
+]

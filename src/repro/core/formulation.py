@@ -1,0 +1,286 @@
+"""The IP/LP formulation of Section 2, plus the Section 6 constraint variants.
+
+The integer program (Section 2 of the paper), with ``y^k_i`` the indicator for
+delivering stream ``k`` to reflector ``i``, ``z_i`` for building reflector
+``i`` and ``x^k_ij`` for serving sink ``j``'s demand for stream ``k`` through
+reflector ``i``:
+
+.. math::
+
+    \\min \\; \\sum_i r_i z_i + \\sum_{i,k} c^k_{ki} y^k_i
+              + \\sum_{i,k,j} c^k_{ij} x^k_{ij}
+
+subject to::
+
+    (1)  y^k_i <= z_i
+    (2)  x^k_ij <= y^k_i
+    (3)  sum_{k,j} x^k_ij <= F_i z_i
+    (4)  sum_j   x^k_ij <= F_i y^k_i        (redundant in the IP, a useful
+                                             cutting plane for the rounding)
+    (5)  sum_i  w^k_ij x^k_ij >= W^k_j
+    (6)  x, y, z in {0,1}  (relaxed to [0,1] in the LP)
+
+Section 6 extensions (all opt-in through :class:`ExtensionOptions`):
+
+* 6.1 per-stream bandwidth ``B^k`` replaces (3)/(4) by (3')/(4');
+* 6.2 reflector capacities  (8)  ``sum_k y^k_i <= u_i``;
+* 6.3 arc capacities        (7') ``sum_k x^k_ij <= u_ij``;
+* 6.4 color constraints     (9)  ``sum_{i in R_l} x^k_ij <= 1``.
+
+This module only *builds* the LP; solving and rounding live in
+:mod:`repro.core.algorithm`, :mod:`repro.core.rounding` and
+:mod:`repro.core.gap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.lp_solution import AssignmentKey, FractionalSolution
+from repro.core.problem import Demand, OverlayDesignProblem
+from repro.lp import LinearExpr, LinearProgram, LPSolution, Objective, Variable, solve_lp
+
+
+@dataclass
+class ExtensionOptions:
+    """Which Section-6 extensions to include in the formulation.
+
+    Attributes
+    ----------
+    use_bandwidth:
+        Section 6.1 -- weight each assignment by the stream's bandwidth ``B^k``
+        in the fanout constraints (3')/(4').
+    use_reflector_capacities:
+        Section 6.2 -- add constraint (8) for reflectors that declare a
+        ``capacity`` in the problem.
+    use_arc_capacities:
+        Section 6.3 -- add constraint (7') for delivery edges that declare a
+        ``capacity``.
+    use_color_constraints:
+        Section 6.4 -- add constraint (9) for every color class and demand.
+    drop_cutting_plane:
+        Omit constraint (4).  The IP is unchanged (Claim 2.1 shows (4) is
+        dominated) but the rounding analysis relies on it; the C2 ablation
+        benchmark measures the effect of dropping it.
+    """
+
+    use_bandwidth: bool = False
+    use_reflector_capacities: bool = False
+    use_arc_capacities: bool = False
+    use_color_constraints: bool = False
+    drop_cutting_plane: bool = False
+
+
+@dataclass
+class OverlayFormulation:
+    """A built LP plus the variable maps needed to interpret its solution."""
+
+    problem: OverlayDesignProblem
+    model: LinearProgram
+    z_vars: dict[str, Variable]
+    y_vars: dict[tuple[str, str], Variable]
+    x_vars: dict[AssignmentKey, Variable]
+    #: cached edge weights w^k_ij keyed like the x variables
+    weights: dict[AssignmentKey, float]
+    #: cached demand weights W^k_j keyed by demand key
+    demand_weights: dict[tuple[str, str], float]
+    options: ExtensionOptions = field(default_factory=ExtensionOptions)
+
+    # ------------------------------------------------------------------ solve
+    def solve(self) -> LPSolution:
+        """Solve the LP relaxation (Section 2, relaxed constraint (6))."""
+        return solve_lp(self.model)
+
+    def fractional_solution(self, lp_solution: LPSolution) -> FractionalSolution:
+        """Extract ``(z_hat, y_hat, x_hat)`` from a solved LP."""
+        if not lp_solution.is_optimal:
+            raise ValueError(
+                f"LP relaxation was not solved to optimality: {lp_solution.status.value} "
+                f"({lp_solution.message})"
+            )
+        return FractionalSolution(
+            z={name: lp_solution.value(var) for name, var in self.z_vars.items()},
+            y={key: lp_solution.value(var) for key, var in self.y_vars.items()},
+            x={key: lp_solution.value(var) for key, var in self.x_vars.items()},
+            objective=lp_solution.objective,
+        )
+
+    # ------------------------------------------------------------- accessors
+    def assignment_keys_for_demand(self, demand: Demand) -> list[AssignmentKey]:
+        """All x-variable keys serving a particular demand."""
+        return [key for key in self.x_vars if key[1] == demand.key]
+
+    def assignment_keys_for_reflector(self, reflector: str) -> list[AssignmentKey]:
+        """All x-variable keys routed through a particular reflector."""
+        return [key for key in self.x_vars if key[0] == reflector]
+
+    @property
+    def num_variables(self) -> int:
+        return self.model.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.model.num_constraints
+
+
+def build_formulation(
+    problem: OverlayDesignProblem,
+    options: ExtensionOptions | None = None,
+) -> OverlayFormulation:
+    """Build the Section-2 LP relaxation (optionally with Section-6 extensions).
+
+    The variable set is restricted to the problem's support: an ``x`` variable
+    exists only for (reflector, demand) pairs where both the stream edge and
+    the delivery edge exist, and a ``y`` variable only for existing stream
+    edges.  This matches the paper's tripartite digraph and keeps the LP at
+    ``O(|S|·|R|·|D|)`` size.
+    """
+    options = options or ExtensionOptions()
+    problem.validate()
+
+    model = LinearProgram(name=f"{problem.name}-lp", objective_sense=Objective.MINIMIZE)
+
+    # Variables -------------------------------------------------------------
+    z_vars: dict[str, Variable] = {}
+    for reflector in problem.reflectors:
+        z_vars[reflector] = model.add_variable(name=f"z[{reflector}]", lower=0.0, upper=1.0)
+
+    y_vars: dict[tuple[str, str], Variable] = {}
+    for edge in problem.stream_edges():
+        key = (edge.stream, edge.reflector)
+        y_vars[key] = model.add_variable(
+            name=f"y[{edge.stream},{edge.reflector}]", lower=0.0, upper=1.0
+        )
+
+    x_vars: dict[AssignmentKey, Variable] = {}
+    weights: dict[AssignmentKey, float] = {}
+    demand_weights: dict[tuple[str, str], float] = {}
+    for demand in problem.demands:
+        demand_weights[demand.key] = problem.demand_weight(demand)
+        for reflector in problem.candidate_reflectors(demand):
+            key: AssignmentKey = (reflector, demand.key)
+            x_vars[key] = model.add_variable(
+                name=f"x[{reflector},{demand.sink},{demand.stream}]", lower=0.0, upper=1.0
+            )
+            weights[key] = problem.edge_weight(demand, reflector)
+
+    # Objective --------------------------------------------------------------
+    objective = LinearExpr()
+    for reflector, var in z_vars.items():
+        objective += problem.reflector_cost(reflector) * var
+    for (stream, reflector), var in y_vars.items():
+        objective += problem.stream_edge(stream, reflector).cost * var
+    for (reflector, (sink, stream)), var in x_vars.items():
+        objective += problem.delivery_cost(reflector, sink, stream) * var
+    model.set_objective(objective)
+
+    # Constraint (1): y <= z --------------------------------------------------
+    for (stream, reflector), y_var in y_vars.items():
+        model.add_constraint(
+            y_var - z_vars[reflector] <= 0.0, name=f"(1)[{stream},{reflector}]"
+        )
+
+    # Constraint (2): x <= y --------------------------------------------------
+    for (reflector, (sink, stream)), x_var in x_vars.items():
+        y_var = y_vars.get((stream, reflector))
+        if y_var is None:  # pragma: no cover - excluded by candidate_reflectors
+            raise RuntimeError("x variable exists without its y variable")
+        model.add_constraint(
+            x_var - y_var <= 0.0, name=f"(2)[{reflector},{sink},{stream}]"
+        )
+
+    # Fanout constraints (3)/(4) or their bandwidth versions (3')/(4') --------
+    bandwidth = (
+        {stream: problem.stream_bandwidth(stream) for stream in problem.streams}
+        if options.use_bandwidth
+        else {stream: 1.0 for stream in problem.streams}
+    )
+
+    for reflector in problem.reflectors:
+        keys = [key for key in x_vars if key[0] == reflector]
+        if not keys:
+            continue
+        fanout = float(problem.fanout(reflector))
+        total_load = LinearExpr.weighted_sum(
+            (bandwidth[key[1][1]], x_vars[key]) for key in keys
+        )
+        model.add_constraint(
+            total_load - fanout * z_vars[reflector] <= 0.0, name=f"(3)[{reflector}]"
+        )
+        if not options.drop_cutting_plane:
+            by_stream: dict[str, list[AssignmentKey]] = {}
+            for key in keys:
+                by_stream.setdefault(key[1][1], []).append(key)
+            for stream, stream_keys in by_stream.items():
+                y_var = y_vars.get((stream, reflector))
+                if y_var is None:
+                    continue
+                stream_load = LinearExpr.weighted_sum(
+                    (bandwidth[stream], x_vars[key]) for key in stream_keys
+                )
+                model.add_constraint(
+                    stream_load - fanout * y_var <= 0.0, name=f"(4)[{reflector},{stream}]"
+                )
+
+    # Constraint (5): weight coverage -----------------------------------------
+    for demand in problem.demands:
+        keys = [key for key in x_vars if key[1] == demand.key]
+        coverage = LinearExpr.weighted_sum((weights[key], x_vars[key]) for key in keys)
+        model.add_constraint(
+            coverage >= demand_weights[demand.key],
+            name=f"(5)[{demand.sink},{demand.stream}]",
+        )
+
+    # Section 6.2: reflector capacities (8) ------------------------------------
+    if options.use_reflector_capacities:
+        for reflector in problem.reflectors:
+            capacity = problem.reflector_capacity(reflector)
+            if capacity is None:
+                continue
+            keys = [key for key in y_vars if key[1] == reflector]
+            if not keys:
+                continue
+            load = LinearExpr.sum(y_vars[key] for key in keys)
+            model.add_constraint(load <= capacity, name=f"(8)[{reflector}]")
+
+    # Section 6.3: arc capacities (7') -----------------------------------------
+    if options.use_arc_capacities:
+        for reflector, sink in problem.delivery_links():
+            capacity = problem.arc_capacity(reflector, sink)
+            if capacity is None:
+                continue
+            keys = [key for key in x_vars if key[0] == reflector and key[1][0] == sink]
+            if not keys:
+                continue
+            load = LinearExpr.sum(x_vars[key] for key in keys)
+            model.add_constraint(load <= capacity, name=f"(7')[{reflector},{sink}]")
+
+    # Section 6.4: color constraints (9) ----------------------------------------
+    if options.use_color_constraints:
+        color_groups = problem.colors()
+        for demand in problem.demands:
+            for color, members in color_groups.items():
+                keys = [
+                    (reflector, demand.key)
+                    for reflector in members
+                    if (reflector, demand.key) in x_vars
+                ]
+                if len(keys) < 2:
+                    # A single member can never exceed one copy.
+                    continue
+                load = LinearExpr.sum(x_vars[key] for key in keys)
+                model.add_constraint(
+                    load <= 1.0, name=f"(9)[{color},{demand.sink},{demand.stream}]"
+                )
+
+    return OverlayFormulation(
+        problem=problem,
+        model=model,
+        z_vars=z_vars,
+        y_vars=y_vars,
+        x_vars=x_vars,
+        weights=weights,
+        demand_weights=demand_weights,
+        options=options,
+    )

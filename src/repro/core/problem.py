@@ -1,0 +1,485 @@
+"""The 3-level overlay network design problem (Section 2 of the paper).
+
+An :class:`OverlayDesignProblem` captures the input of the
+"3-level network reliability min-cost multicommodity flow problem":
+
+* a set of *streams* (commodities), one per entrypoint / source;
+* a set of *reflectors*, each with a build cost ``r_i`` and a fanout bound
+  ``F_i`` (and, optionally, a *color* identifying its ISP for the Section 6.4
+  extension and a capacity for Section 6.2/6.3);
+* a set of *sinks* (edgeservers);
+* *stream edges* source->reflector with loss probability ``p_ki`` and
+  per-stream carriage cost ``c^k_ki``;
+* *delivery edges* reflector->sink with loss probability ``p_ij`` and cost
+  ``c^k_ij`` (optionally per-stream);
+* *demands*: (sink, stream, success threshold ``Phi``) triples.
+
+The paper assumes WLOG that each sink demands a single commodity (multi-demand
+sinks are split into copies).  Here each :class:`Demand` object *is* that
+(sink, stream) copy, so ``n`` -- the paper's number of sinks -- equals
+``len(problem.demands)``, and no explicit splitting step is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from repro.core.weights import (
+    edge_weight,
+    path_failure_probability,
+    threshold_to_weight,
+)
+
+
+@dataclass(frozen=True)
+class StreamEdge:
+    """Edge from a source (stream) to a reflector.
+
+    Attributes
+    ----------
+    stream, reflector:
+        Endpoint identifiers.
+    loss_probability:
+        ``p_ki`` -- probability that a packet of the stream is lost on the way
+        to the reflector.
+    cost:
+        ``c^k_ki`` -- cost of forwarding the stream to this reflector.
+    """
+
+    stream: str
+    reflector: str
+    loss_probability: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class DeliveryEdge:
+    """Edge from a reflector to a sink, carrying a specific stream.
+
+    Attributes
+    ----------
+    stream, reflector, sink:
+        Identifiers; the stream matters because carriage cost may depend on the
+        commodity (different encodings have different bitrates).
+    loss_probability:
+        ``p_ij`` -- loss probability of the reflector->sink link (independent
+        of the stream).
+    cost:
+        ``c^k_ij`` -- cost of sending this stream over the link.
+    """
+
+    stream: str
+    reflector: str
+    sink: str
+    loss_probability: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class Demand:
+    """A (sink, stream) pair with a required success probability ``Phi``."""
+
+    sink: str
+    stream: str
+    success_threshold: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.sink, self.stream)
+
+
+@dataclass
+class ReflectorInfo:
+    """Static attributes of a reflector."""
+
+    name: str
+    cost: float
+    fanout: int
+    color: Hashable | None = None
+    capacity: float | None = None  # Section 6.2 extension: max distinct streams
+
+
+@dataclass
+class FeasibilityIssue:
+    """A demand that cannot be met even using every reflector (diagnostic)."""
+
+    demand: Demand
+    required_weight: float
+    available_weight: float
+    reachable_reflectors: int
+
+
+class OverlayDesignProblem:
+    """Mutable builder + immutable view of a 3-level overlay design instance.
+
+    Build an instance by adding streams, reflectors, sinks, edges and demands;
+    then hand it to :func:`repro.core.algorithm.design_overlay` (or any of the
+    baselines in :mod:`repro.baselines`).
+
+    Examples
+    --------
+    >>> problem = OverlayDesignProblem()
+    >>> problem.add_stream("event")
+    >>> problem.add_reflector("r1", cost=5.0, fanout=10)
+    >>> problem.add_sink("boston")
+    >>> problem.add_stream_edge("event", "r1", loss_probability=0.01, cost=1.0)
+    >>> problem.add_delivery_edge("r1", "boston", loss_probability=0.05, cost=0.5)
+    >>> problem.add_demand("boston", "event", success_threshold=0.9)
+    >>> problem.num_demands
+    1
+    """
+
+    def __init__(self, name: str = "overlay-design") -> None:
+        self.name = name
+        self._streams: list[str] = []
+        self._stream_set: set[str] = set()
+        self._reflectors: dict[str, ReflectorInfo] = {}
+        self._sinks: list[str] = []
+        self._sink_set: set[str] = set()
+        self._stream_edges: dict[tuple[str, str], StreamEdge] = {}
+        self._delivery_links: dict[tuple[str, str], tuple[float, float]] = {}
+        self._delivery_stream_costs: dict[tuple[str, str], dict[str, float]] = {}
+        self._demands: list[Demand] = []
+        self._demand_keys: set[tuple[str, str]] = set()
+        self._stream_bandwidth: dict[str, float] = {}
+        self._arc_capacity: dict[tuple[str, str], float] = {}
+
+    # --------------------------------------------------------------- building
+    def add_stream(self, stream: str, bandwidth: float = 1.0) -> None:
+        """Register a stream (commodity).
+
+        ``bandwidth`` is only used by the Section 6.1 extension (``B^k``); the
+        base formulation treats every stream as one unit of fanout.
+        """
+        if stream in self._stream_set:
+            raise ValueError(f"stream {stream!r} already exists")
+        if bandwidth <= 0:
+            raise ValueError(f"stream bandwidth must be positive, got {bandwidth}")
+        self._streams.append(stream)
+        self._stream_set.add(stream)
+        self._stream_bandwidth[stream] = float(bandwidth)
+
+    def add_reflector(
+        self,
+        reflector: str,
+        cost: float,
+        fanout: int,
+        color: Hashable | None = None,
+        capacity: float | None = None,
+    ) -> None:
+        """Register a reflector with build cost ``r_i`` and fanout bound ``F_i``.
+
+        ``color`` groups reflectors (e.g. by ISP) for the Section 6.4
+        color-constraint extension; ``capacity`` bounds the number of distinct
+        streams delivered to the reflector (Section 6.2, constraint (8)).
+        """
+        if reflector in self._reflectors:
+            raise ValueError(f"reflector {reflector!r} already exists")
+        if cost < 0:
+            raise ValueError(f"reflector cost must be non-negative, got {cost}")
+        if fanout <= 0:
+            raise ValueError(f"reflector fanout must be positive, got {fanout}")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"reflector capacity must be positive, got {capacity}")
+        self._reflectors[reflector] = ReflectorInfo(
+            name=reflector, cost=float(cost), fanout=int(fanout), color=color, capacity=capacity
+        )
+
+    def add_sink(self, sink: str) -> None:
+        """Register a sink (edgeserver)."""
+        if sink in self._sink_set:
+            raise ValueError(f"sink {sink!r} already exists")
+        self._sinks.append(sink)
+        self._sink_set.add(sink)
+
+    def add_stream_edge(
+        self, stream: str, reflector: str, loss_probability: float, cost: float
+    ) -> None:
+        """Add the source->reflector edge for ``stream`` (at most one per pair)."""
+        self._require_stream(stream)
+        self._require_reflector(reflector)
+        _check_probability(loss_probability)
+        if cost < 0:
+            raise ValueError(f"edge cost must be non-negative, got {cost}")
+        key = (stream, reflector)
+        if key in self._stream_edges:
+            raise ValueError(f"stream edge {key} already exists")
+        self._stream_edges[key] = StreamEdge(stream, reflector, float(loss_probability), float(cost))
+
+    def add_delivery_edge(
+        self,
+        reflector: str,
+        sink: str,
+        loss_probability: float,
+        cost: float,
+        stream_costs: Mapping[str, float] | None = None,
+        capacity: float | None = None,
+    ) -> None:
+        """Add the reflector->sink link.
+
+        ``cost`` is the default per-stream carriage cost; ``stream_costs``
+        overrides it for specific streams (the paper allows ``c^k_ij`` to depend
+        on the commodity, e.g. to capture different encoding bitrates).
+        ``capacity`` bounds the number of streams on the link (Section 6.3,
+        constraint (7')).
+        """
+        self._require_reflector(reflector)
+        self._require_sink(sink)
+        _check_probability(loss_probability)
+        if cost < 0:
+            raise ValueError(f"edge cost must be non-negative, got {cost}")
+        key = (reflector, sink)
+        if key in self._delivery_links:
+            raise ValueError(f"delivery edge {key} already exists")
+        self._delivery_links[key] = (float(loss_probability), float(cost))
+        if stream_costs:
+            for stream, stream_cost in stream_costs.items():
+                self._require_stream(stream)
+                if stream_cost < 0:
+                    raise ValueError("per-stream cost must be non-negative")
+            self._delivery_stream_costs[key] = {
+                stream: float(value) for stream, value in stream_costs.items()
+            }
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError(f"arc capacity must be positive, got {capacity}")
+            self._arc_capacity[key] = float(capacity)
+
+    def add_demand(self, sink: str, stream: str, success_threshold: float) -> None:
+        """Require ``sink`` to receive ``stream`` with success probability >= threshold."""
+        self._require_sink(sink)
+        self._require_stream(stream)
+        if not 0.0 < success_threshold < 1.0:
+            raise ValueError(
+                f"success threshold must lie strictly between 0 and 1, got {success_threshold}"
+            )
+        key = (sink, stream)
+        if key in self._demand_keys:
+            raise ValueError(f"demand {key} already exists")
+        self._demand_keys.add(key)
+        self._demands.append(Demand(sink, stream, float(success_threshold)))
+
+    # ----------------------------------------------------------------- access
+    @property
+    def streams(self) -> list[str]:
+        return list(self._streams)
+
+    @property
+    def reflectors(self) -> list[str]:
+        return list(self._reflectors)
+
+    @property
+    def sinks(self) -> list[str]:
+        return list(self._sinks)
+
+    @property
+    def demands(self) -> list[Demand]:
+        return list(self._demands)
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._streams)
+
+    @property
+    def num_reflectors(self) -> int:
+        return len(self._reflectors)
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self._sinks)
+
+    @property
+    def num_demands(self) -> int:
+        """The paper's ``n``: the number of (stream, sink) demand pairs."""
+        return len(self._demands)
+
+    def reflector_info(self, reflector: str) -> ReflectorInfo:
+        self._require_reflector(reflector)
+        return self._reflectors[reflector]
+
+    def reflector_cost(self, reflector: str) -> float:
+        return self.reflector_info(reflector).cost
+
+    def fanout(self, reflector: str) -> int:
+        return self.reflector_info(reflector).fanout
+
+    def color(self, reflector: str) -> Hashable | None:
+        return self.reflector_info(reflector).color
+
+    def colors(self) -> dict[Hashable, list[str]]:
+        """Reflectors grouped by color (reflectors without a color are skipped)."""
+        groups: dict[Hashable, list[str]] = {}
+        for name, info in self._reflectors.items():
+            if info.color is not None:
+                groups.setdefault(info.color, []).append(name)
+        return groups
+
+    def stream_bandwidth(self, stream: str) -> float:
+        self._require_stream(stream)
+        return self._stream_bandwidth[stream]
+
+    def has_stream_edge(self, stream: str, reflector: str) -> bool:
+        return (stream, reflector) in self._stream_edges
+
+    def stream_edge(self, stream: str, reflector: str) -> StreamEdge:
+        try:
+            return self._stream_edges[(stream, reflector)]
+        except KeyError:
+            raise KeyError(f"no stream edge {stream!r} -> {reflector!r}") from None
+
+    def stream_edges(self) -> list[StreamEdge]:
+        return list(self._stream_edges.values())
+
+    def has_delivery_link(self, reflector: str, sink: str) -> bool:
+        return (reflector, sink) in self._delivery_links
+
+    def delivery_loss(self, reflector: str, sink: str) -> float:
+        try:
+            return self._delivery_links[(reflector, sink)][0]
+        except KeyError:
+            raise KeyError(f"no delivery edge {reflector!r} -> {sink!r}") from None
+
+    def delivery_cost(self, reflector: str, sink: str, stream: str) -> float:
+        loss_cost = self._delivery_links.get((reflector, sink))
+        if loss_cost is None:
+            raise KeyError(f"no delivery edge {reflector!r} -> {sink!r}")
+        overrides = self._delivery_stream_costs.get((reflector, sink))
+        if overrides and stream in overrides:
+            return overrides[stream]
+        return loss_cost[1]
+
+    def delivery_edge(self, reflector: str, sink: str, stream: str) -> DeliveryEdge:
+        return DeliveryEdge(
+            stream=stream,
+            reflector=reflector,
+            sink=sink,
+            loss_probability=self.delivery_loss(reflector, sink),
+            cost=self.delivery_cost(reflector, sink, stream),
+        )
+
+    def delivery_links(self) -> list[tuple[str, str]]:
+        """All (reflector, sink) pairs with a delivery edge."""
+        return list(self._delivery_links)
+
+    def arc_capacity(self, reflector: str, sink: str) -> float | None:
+        """Section 6.3 capacity of the reflector->sink arc, or None."""
+        return self._arc_capacity.get((reflector, sink))
+
+    def reflector_capacity(self, reflector: str) -> float | None:
+        """Section 6.2 capacity (max distinct streams) of a reflector, or None."""
+        return self.reflector_info(reflector).capacity
+
+    # ----------------------------------------------------- derived quantities
+    def candidate_reflectors(self, demand: Demand) -> list[str]:
+        """Reflectors that can serve ``demand`` (both edges present)."""
+        return [
+            reflector
+            for reflector in self._reflectors
+            if (demand.stream, reflector) in self._stream_edges
+            and (reflector, demand.sink) in self._delivery_links
+        ]
+
+    def path_failure(self, demand: Demand, reflector: str) -> float:
+        """Two-hop failure probability for serving ``demand`` via ``reflector``."""
+        stream_edge = self.stream_edge(demand.stream, reflector)
+        delivery_loss = self.delivery_loss(reflector, demand.sink)
+        return path_failure_probability(stream_edge.loss_probability, delivery_loss)
+
+    def demand_weight(self, demand: Demand) -> float:
+        """``W_kj = -log(1 - Phi)`` for the demand."""
+        return threshold_to_weight(demand.success_threshold)
+
+    def edge_weight(self, demand: Demand, reflector: str, cap_at_demand: bool = True) -> float:
+        """``w_kij`` for serving ``demand`` through ``reflector``.
+
+        When ``cap_at_demand`` is True (the default, matching the paper's WLOG
+        assumption), the weight is capped at the demand weight ``W_kj``.
+        """
+        stream_edge = self.stream_edge(demand.stream, reflector)
+        delivery_loss = self.delivery_loss(reflector, demand.sink)
+        cap = self.demand_weight(demand) if cap_at_demand else None
+        return edge_weight(stream_edge.loss_probability, delivery_loss, demand_weight=cap)
+
+    def assignment_cost(self, demand: Demand, reflector: str) -> float:
+        """Cost ``c^k_ij`` of assigning ``demand`` to ``reflector`` (delivery leg only)."""
+        return self.delivery_cost(reflector, demand.sink, demand.stream)
+
+    def total_fanout(self) -> int:
+        """Sum of reflector fanout bounds (an upper bound on total assignments)."""
+        return sum(info.fanout for info in self._reflectors.values())
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the instance is structurally incomplete.
+
+        Checks that every demand has at least one candidate reflector and that
+        the instance has at least one stream, reflector, sink and demand.
+        """
+        if not self._streams:
+            raise ValueError("problem has no streams")
+        if not self._reflectors:
+            raise ValueError("problem has no reflectors")
+        if not self._sinks:
+            raise ValueError("problem has no sinks")
+        if not self._demands:
+            raise ValueError("problem has no demands")
+        for demand in self._demands:
+            if not self.candidate_reflectors(demand):
+                raise ValueError(
+                    f"demand {demand.key} has no candidate reflectors "
+                    "(missing stream edge or delivery edge)"
+                )
+
+    def feasibility_report(self) -> list[FeasibilityIssue]:
+        """Demands whose weight requirement cannot be met even using all reflectors.
+
+        The LP is infeasible exactly when this list is non-empty (ignoring
+        fanout contention); callers can use it to produce actionable error
+        messages before running the full algorithm.
+        """
+        issues: list[FeasibilityIssue] = []
+        for demand in self._demands:
+            required = self.demand_weight(demand)
+            candidates = self.candidate_reflectors(demand)
+            available = sum(self.edge_weight(demand, reflector) for reflector in candidates)
+            if available + 1e-12 < required:
+                issues.append(
+                    FeasibilityIssue(
+                        demand=demand,
+                        required_weight=required,
+                        available_weight=available,
+                        reachable_reflectors=len(candidates),
+                    )
+                )
+        return issues
+
+    def size_signature(self) -> tuple[int, int, int]:
+        """(|S|, |R|, n) -- the quantities the paper's running time is stated in."""
+        return (self.num_streams, self.num_reflectors, self.num_demands)
+
+    # ---------------------------------------------------------------- helpers
+    def _require_stream(self, stream: str) -> None:
+        if stream not in self._stream_set:
+            raise KeyError(f"unknown stream {stream!r}")
+
+    def _require_reflector(self, reflector: str) -> None:
+        if reflector not in self._reflectors:
+            raise KeyError(f"unknown reflector {reflector!r}")
+
+    def _require_sink(self, sink: str) -> None:
+        if sink not in self._sink_set:
+            raise KeyError(f"unknown sink {sink!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"OverlayDesignProblem(name={self.name!r}, streams={self.num_streams}, "
+            f"reflectors={self.num_reflectors}, sinks={self.num_sinks}, "
+            f"demands={self.num_demands})"
+        )
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0 or math.isnan(value):
+        raise ValueError(f"loss probability must lie in [0, 1], got {value}")

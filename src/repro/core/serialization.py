@@ -1,0 +1,198 @@
+"""JSON (de)serialization of problems and solutions.
+
+A deployable overlay designer needs its inputs (measured loss rates, costs,
+fanouts, demand sets) and outputs (which reflectors serve which edgeservers)
+to cross process boundaries: the measurement pipeline produces the instance,
+the designer runs periodically ("our algorithm is reasonably fast so it can be
+rerun as often as needed", Section 1.3), and the resulting design is pushed to
+the entrypoints and reflectors.  This module provides a stable, versioned JSON
+encoding for :class:`OverlayDesignProblem` and :class:`OverlaySolution` and is
+what the CLI (:mod:`repro.cli`) reads and writes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+
+#: Format version written into every document; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def problem_to_dict(problem: OverlayDesignProblem) -> dict[str, Any]:
+    """Encode a problem as a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "overlay-design-problem",
+        "name": problem.name,
+        "streams": [
+            {"name": stream, "bandwidth": problem.stream_bandwidth(stream)}
+            for stream in problem.streams
+        ],
+        "reflectors": [
+            {
+                "name": reflector,
+                "cost": info.cost,
+                "fanout": info.fanout,
+                "color": info.color,
+                "capacity": info.capacity,
+            }
+            for reflector in problem.reflectors
+            for info in [problem.reflector_info(reflector)]
+        ],
+        "sinks": list(problem.sinks),
+        "stream_edges": [
+            {
+                "stream": edge.stream,
+                "reflector": edge.reflector,
+                "loss_probability": edge.loss_probability,
+                "cost": edge.cost,
+            }
+            for edge in problem.stream_edges()
+        ],
+        "delivery_edges": [
+            {
+                "reflector": reflector,
+                "sink": sink,
+                "loss_probability": problem.delivery_loss(reflector, sink),
+                "cost": problem.delivery_cost(reflector, sink, problem.streams[0])
+                if problem.streams
+                else 0.0,
+                "stream_costs": {
+                    stream: problem.delivery_cost(reflector, sink, stream)
+                    for stream in problem.streams
+                    if problem.delivery_cost(reflector, sink, stream)
+                    != (
+                        problem.delivery_cost(reflector, sink, problem.streams[0])
+                        if problem.streams
+                        else 0.0
+                    )
+                },
+                "capacity": problem.arc_capacity(reflector, sink),
+            }
+            for reflector, sink in problem.delivery_links()
+        ],
+        "demands": [
+            {
+                "sink": demand.sink,
+                "stream": demand.stream,
+                "success_threshold": demand.success_threshold,
+            }
+            for demand in problem.demands
+        ],
+    }
+
+
+def problem_from_dict(data: dict[str, Any]) -> OverlayDesignProblem:
+    """Decode a problem from a dictionary produced by :func:`problem_to_dict`."""
+    _check_document(data, "overlay-design-problem")
+    problem = OverlayDesignProblem(name=data.get("name", "overlay-design"))
+    for stream in data.get("streams", []):
+        problem.add_stream(stream["name"], bandwidth=stream.get("bandwidth", 1.0))
+    for reflector in data.get("reflectors", []):
+        problem.add_reflector(
+            reflector["name"],
+            cost=reflector["cost"],
+            fanout=reflector["fanout"],
+            color=reflector.get("color"),
+            capacity=reflector.get("capacity"),
+        )
+    for sink in data.get("sinks", []):
+        problem.add_sink(sink)
+    for edge in data.get("stream_edges", []):
+        problem.add_stream_edge(
+            edge["stream"],
+            edge["reflector"],
+            loss_probability=edge["loss_probability"],
+            cost=edge["cost"],
+        )
+    for edge in data.get("delivery_edges", []):
+        problem.add_delivery_edge(
+            edge["reflector"],
+            edge["sink"],
+            loss_probability=edge["loss_probability"],
+            cost=edge["cost"],
+            stream_costs=edge.get("stream_costs") or None,
+            capacity=edge.get("capacity"),
+        )
+    for demand in data.get("demands", []):
+        problem.add_demand(
+            demand["sink"], demand["stream"], success_threshold=demand["success_threshold"]
+        )
+    return problem
+
+
+def solution_to_dict(solution: OverlaySolution) -> dict[str, Any]:
+    """Encode a solution (without its problem) as a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "overlay-solution",
+        "problem_name": solution.problem.name,
+        "built_reflectors": sorted(solution.built_reflectors),
+        "stream_deliveries": sorted(list(pair) for pair in solution.stream_deliveries),
+        "assignments": [
+            {"sink": sink, "stream": stream, "reflectors": list(reflectors)}
+            for (sink, stream), reflectors in sorted(solution.assignments.items())
+        ],
+        "metadata": {
+            key: value
+            for key, value in solution.metadata.items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+        "summary": solution.summary(),
+    }
+
+
+def solution_from_dict(
+    data: dict[str, Any], problem: OverlayDesignProblem
+) -> OverlaySolution:
+    """Decode a solution against its problem instance."""
+    _check_document(data, "overlay-solution")
+    assignments = {
+        (entry["sink"], entry["stream"]): list(entry["reflectors"])
+        for entry in data.get("assignments", [])
+    }
+    solution = OverlaySolution.from_assignments(
+        problem, assignments, metadata=dict(data.get("metadata", {}))
+    )
+    return solution
+
+
+def dump_problem(problem: OverlayDesignProblem, path: str) -> None:
+    """Write a problem to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2, sort_keys=True)
+
+
+def load_problem(path: str) -> OverlayDesignProblem:
+    """Read a problem from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return problem_from_dict(json.load(handle))
+
+
+def dump_solution(solution: OverlaySolution, path: str) -> None:
+    """Write a solution to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(solution_to_dict(solution), handle, indent=2, sort_keys=True)
+
+
+def load_solution(path: str, problem: OverlayDesignProblem) -> OverlaySolution:
+    """Read a solution from a JSON file (needs the matching problem)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return solution_from_dict(json.load(handle), problem)
+
+
+def _check_document(data: dict[str, Any], expected_kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError("document must be a JSON object")
+    kind = data.get("kind")
+    if kind != expected_kind:
+        raise ValueError(f"expected a {expected_kind!r} document, got {kind!r}")
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (this build reads {FORMAT_VERSION})"
+        )

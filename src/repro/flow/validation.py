@@ -1,0 +1,72 @@
+"""Validation helpers for flows.
+
+These are used both by the test suite (as invariants for property-based
+testing of the solvers) and by :mod:`repro.core.gap`, which asserts that the
+half-integral flow it derives from the Figure-2 network is feasible before
+doubling it into the final 0/1 assignment.
+"""
+
+from __future__ import annotations
+
+from repro.flow.graph import FlowNetwork
+
+_DEFAULT_TOL = 1e-7
+
+
+def flow_conservation_violations(
+    net: FlowNetwork,
+    source: int,
+    sink: int,
+    tol: float = _DEFAULT_TOL,
+) -> dict[int, float]:
+    """Net imbalance (inflow - outflow) at every node other than the terminals.
+
+    Returns a mapping ``node -> imbalance`` restricted to nodes whose
+    imbalance exceeds ``tol`` in absolute value.  An empty mapping means the
+    stored flow conserves mass everywhere it should.
+    """
+    imbalance = [0.0] * net.num_nodes
+    for edge in net.edges():
+        flow = net.flow_on(edge.edge_id)
+        imbalance[edge.tail] -= flow
+        imbalance[edge.head] += flow
+    violations: dict[int, float] = {}
+    for node in range(net.num_nodes):
+        if node in (source, sink):
+            continue
+        if abs(imbalance[node]) > tol:
+            violations[node] = imbalance[node]
+    return violations
+
+
+def is_feasible_flow(
+    net: FlowNetwork,
+    source: int,
+    sink: int,
+    tol: float = _DEFAULT_TOL,
+) -> bool:
+    """Whether the stored flow respects capacities and conservation."""
+    for edge in net.edges():
+        flow = net.flow_on(edge.edge_id)
+        if flow < -tol or flow > edge.capacity + tol:
+            return False
+    return not flow_conservation_violations(net, source, sink, tol)
+
+
+def assert_feasible_flow(
+    net: FlowNetwork,
+    source: int,
+    sink: int,
+    tol: float = _DEFAULT_TOL,
+) -> None:
+    """Raise ``AssertionError`` with a diagnostic message if the flow is infeasible."""
+    for edge in net.edges():
+        flow = net.flow_on(edge.edge_id)
+        if flow < -tol or flow > edge.capacity + tol:
+            raise AssertionError(
+                f"edge {edge.edge_id} ({edge.tail}->{edge.head}) carries {flow} "
+                f"but has capacity {edge.capacity}"
+            )
+    violations = flow_conservation_violations(net, source, sink, tol)
+    if violations:
+        raise AssertionError(f"flow conservation violated at nodes {violations}")

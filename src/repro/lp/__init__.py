@@ -1,0 +1,39 @@
+"""Linear-programming substrate.
+
+The SPAA'03 overlay-design algorithm begins by solving the LP relaxation of
+the integer program of Section 2.  This subpackage provides a small,
+self-contained LP *modeling* layer (variables, linear expressions, linear
+constraints, objective) and a solver backend that compiles the model to the
+sparse matrix form expected by :func:`scipy.optimize.linprog` (HiGHS).
+
+The modeling layer exists so that the formulation code in
+:mod:`repro.core.formulation` reads like the paper's IP, and so that the
+Section 6 extensions can add constraints without touching matrix assembly.
+
+Public API
+----------
+``LinearProgram``  -- model container (variables, constraints, objective).
+``Variable``       -- decision variable handle; supports arithmetic.
+``LinearExpr``     -- affine expression over variables.
+``Constraint``     -- linear constraint (<=, >=, ==).
+``solve_lp``       -- solve a model, returning an ``LPSolution``.
+``LPSolution``     -- status, objective value, per-variable values.
+``LPStatus``       -- enum of solver outcomes.
+"""
+
+from repro.lp.expr import Constraint, LinearExpr, Sense, Variable
+from repro.lp.model import LinearProgram, Objective
+from repro.lp.result import LPSolution, LPStatus
+from repro.lp.solver import solve_lp
+
+__all__ = [
+    "Constraint",
+    "LinearExpr",
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+    "Objective",
+    "Sense",
+    "Variable",
+    "solve_lp",
+]

@@ -1,0 +1,208 @@
+"""Variables, linear expressions and constraints for the LP modeling layer.
+
+The design mirrors (a tiny subset of) familiar modeling libraries: a
+:class:`Variable` is a handle into a :class:`repro.lp.model.LinearProgram`;
+arithmetic on variables produces :class:`LinearExpr` objects; comparing an
+expression to a number (or another expression) produces a :class:`Constraint`
+that can be added to the model.
+
+Expressions are stored as ``{variable_index: coefficient}`` dictionaries plus
+a constant term; this keeps model construction O(number of nonzeros), which
+matters because the Section-2 LP has ``O(|S|·|R|·|D|)`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from numbers import Real
+from typing import Iterable, Mapping
+
+
+class Sense(Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Variable:
+    """Handle to a decision variable inside a :class:`LinearProgram`.
+
+    Do not instantiate directly; use :meth:`LinearProgram.add_variable`.
+    """
+
+    __slots__ = ("index", "name", "lower", "upper")
+
+    def __init__(self, index: int, name: str, lower: float, upper: float) -> None:
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    # Arithmetic ------------------------------------------------------------
+    def _as_expr(self) -> "LinearExpr":
+        return LinearExpr({self.index: 1.0})
+
+    def __add__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        return (-1.0 * self._as_expr()) + other
+
+    def __mul__(self, scalar: Real) -> "LinearExpr":
+        return self._as_expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self._as_expr() * -1.0
+
+    # Comparisons build constraints ------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._as_expr() >= other
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinearExpr:
+    """An affine expression ``sum_i coeff_i * x_i + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None, constant: float = 0.0) -> None:
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # Construction helpers ----------------------------------------------------
+    @staticmethod
+    def sum(terms: Iterable["Variable | LinearExpr | Real"]) -> "LinearExpr":
+        """Sum an iterable of variables/expressions/constants efficiently."""
+        out = LinearExpr()
+        for term in terms:
+            out += term
+        return out
+
+    @staticmethod
+    def weighted_sum(pairs: Iterable[tuple[float, "Variable"]]) -> "LinearExpr":
+        """Build ``sum coeff * var`` from (coeff, var) pairs without temporaries."""
+        coeffs: dict[int, float] = {}
+        for coeff, var in pairs:
+            coeffs[var.index] = coeffs.get(var.index, 0.0) + float(coeff)
+        return LinearExpr(coeffs)
+
+    def copy(self) -> "LinearExpr":
+        return LinearExpr(self.coeffs, self.constant)
+
+    # Arithmetic --------------------------------------------------------------
+    def __iadd__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        if isinstance(other, Variable):
+            self.coeffs[other.index] = self.coeffs.get(other.index, 0.0) + 1.0
+        elif isinstance(other, LinearExpr):
+            for idx, coeff in other.coeffs.items():
+                self.coeffs[idx] = self.coeffs.get(idx, 0.0) + coeff
+            self.constant += other.constant
+        elif isinstance(other, Real):
+            self.constant += float(other)
+        else:  # pragma: no cover - defensive
+            return NotImplemented
+        return self
+
+    def __add__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        out = self.copy()
+        out += other
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        if isinstance(other, Variable):
+            other = other._as_expr()
+        if isinstance(other, LinearExpr):
+            return self + (other * -1.0)
+        if isinstance(other, Real):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other: "Variable | LinearExpr | Real") -> "LinearExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Real) -> "LinearExpr":
+        if not isinstance(scalar, Real):
+            return NotImplemented
+        return LinearExpr(
+            {idx: coeff * float(scalar) for idx, coeff in self.coeffs.items()},
+            self.constant * float(scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    # Comparisons -> constraints ----------------------------------------------
+    def _make_constraint(self, other, sense: Sense) -> "Constraint":
+        if isinstance(other, (Variable, LinearExpr)):
+            diff = self - other
+        elif isinstance(other, Real):
+            diff = self - float(other)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot compare LinearExpr with {type(other)!r}")
+        rhs = -diff.constant
+        return Constraint(LinearExpr(diff.coeffs), sense, rhs)
+
+    def __le__(self, other) -> "Constraint":
+        return self._make_constraint(other, Sense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return self._make_constraint(other, Sense.GE)
+
+    def equals(self, other) -> "Constraint":
+        """Build an equality constraint (named method; ``==`` is kept for identity)."""
+        return self._make_constraint(other, Sense.EQ)
+
+    # Evaluation ----------------------------------------------------------------
+    def value(self, assignment: Mapping[int, float] | list[float]) -> float:
+        """Evaluate the expression under a variable assignment (index -> value)."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * assignment[idx]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinearExpr({terms} + {self.constant:g})"
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) rhs``.
+
+    The expression's constant term has already been folded into ``rhs`` by the
+    comparison operators, so ``expr.constant`` is always zero here.
+    """
+
+    expr: LinearExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def violation(self, assignment: Mapping[int, float] | list[float]) -> float:
+        """Amount by which the constraint is violated (0 when satisfied)."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)

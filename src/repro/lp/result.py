@@ -1,0 +1,58 @@
+"""Solution containers for the LP substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.lp.expr import Variable
+
+
+class LPStatus(Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPSolution:
+    """Result of solving a :class:`repro.lp.LinearProgram`.
+
+    Attributes
+    ----------
+    status:
+        Solver outcome.
+    objective:
+        Objective value in the model's own direction (already un-negated for
+        maximization models); ``nan`` unless ``status`` is ``OPTIMAL``.
+    values:
+        Array of variable values indexed by variable index; empty on failure.
+    message:
+        Backend diagnostic string.
+    """
+
+    status: LPStatus
+    objective: float
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+    def value(self, var: Variable) -> float:
+        """Value of a single variable."""
+        return float(self.values[var.index])
+
+    def value_map(self, variables: dict) -> dict:
+        """Map an arbitrary-keyed dict of variables to their solved values.
+
+        Convenience for formulation code that keeps variables in dictionaries
+        keyed by (stream, reflector, sink) tuples.
+        """
+        return {key: self.value(var) for key, var in variables.items()}

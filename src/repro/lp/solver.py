@@ -1,0 +1,68 @@
+"""Solve :class:`repro.lp.LinearProgram` models with scipy's HiGHS backend.
+
+The paper's algorithm only needs an optimal *fractional* solution of the
+Section-2 relaxation; HiGHS (bundled with scipy) is more than adequate for
+the instance sizes a pure-Python reproduction targets, and keeping the
+backend behind :func:`solve_lp` means the rest of the code never touches
+scipy directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPSolution, LPStatus
+
+#: scipy.optimize.linprog status codes -> our enum.
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,  # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,
+}
+
+
+def solve_lp(model: LinearProgram, method: str = "highs") -> LPSolution:
+    """Solve ``model`` and return an :class:`LPSolution`.
+
+    Parameters
+    ----------
+    model:
+        The linear program to solve.
+    method:
+        scipy ``linprog`` method name; ``"highs"`` (dual simplex / IPM chosen
+        automatically) is the default and the only one exercised by the tests.
+    """
+    if model.num_variables == 0:
+        return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, values=np.empty(0))
+
+    compiled = model.compile()
+    result = linprog(
+        c=compiled.c,
+        A_ub=compiled.A_ub,
+        b_ub=compiled.b_ub,
+        A_eq=compiled.A_eq,
+        b_eq=compiled.b_eq,
+        bounds=compiled.bounds,
+        method=method,
+    )
+    status = _STATUS_MAP.get(result.status, LPStatus.ERROR)
+    if status is not LPStatus.OPTIMAL:
+        return LPSolution(
+            status=status,
+            objective=float("nan"),
+            values=np.empty(0),
+            message=str(result.message),
+        )
+    # scipy always minimizes compiled.c @ x; undo the sign flip for
+    # maximization models and re-add the constant term.
+    objective = compiled.objective_sign * float(result.fun) + compiled.objective_constant
+    return LPSolution(
+        status=status,
+        objective=objective,
+        values=np.asarray(result.x, dtype=float),
+        message=str(result.message),
+    )

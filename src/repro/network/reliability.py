@@ -1,0 +1,150 @@
+"""Exact reliability computation for three-level overlay designs.
+
+The paper observes (Section 1.5) that in a three-tiered network the paths
+serving a sink only recombine at the last level, so the exact delivery
+probability can be computed in polynomial time: if the design serves a demand
+through reflectors ``A`` with per-path failure ``q_i = p_ki + p_ij - p_ki p_ij``,
+the failure probability is ``prod_{i in A} q_i`` (independent links).
+
+This module exposes that computation for :class:`repro.core.OverlaySolution`
+objects, plus a *scenario-based* variant that conditions on a set of failed
+ISPs -- the quantity the Section 6.4 color constraints are designed to keep
+high -- and an expectation over independent ISP outages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.problem import Demand, OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+from repro.network.isp import ISPRegistry
+
+
+def delivery_success_probability(path_failures: Iterable[float]) -> float:
+    """Success probability of delivery along independent two-hop paths."""
+    failure = 1.0
+    for q in path_failures:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"path failure probability must lie in [0, 1], got {q}")
+        failure *= q
+    return 1.0 - failure
+
+
+def demand_success_probability(
+    problem: OverlayDesignProblem,
+    demand: Demand,
+    serving_reflectors: Iterable[str],
+    failed_isps: set[str] | None = None,
+    reflector_isp: Mapping[str, str | None] | None = None,
+) -> float:
+    """Exact success probability of a demand under an (optional) ISP outage.
+
+    Reflectors homed in a failed ISP contribute nothing (their paths are
+    removed); ``reflector_isp`` defaults to the problem's color assignment.
+    """
+    failed_isps = failed_isps or set()
+    if reflector_isp is None:
+        reflector_isp = {r: problem.color(r) for r in problem.reflectors}
+    failures = []
+    for reflector in serving_reflectors:
+        if reflector_isp.get(reflector) in failed_isps:
+            continue
+        failures.append(problem.path_failure(demand, reflector))
+    if not failures:
+        return 0.0
+    return delivery_success_probability(failures)
+
+
+def isp_outage_success_probability(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    demand: Demand,
+    registry: ISPRegistry,
+) -> float:
+    """Expected success probability over independent ISP outages.
+
+    Enumerates outage scenarios exactly when there are at most 12 ISPs
+    (2^12 = 4096 scenarios); beyond that it restricts to the no-outage and
+    single-outage scenarios, which dominate the probability mass when outage
+    probabilities are small (the regime the paper describes).
+    """
+    serving = solution.reflectors_serving(demand)
+    isp_names = registry.names()
+    if not isp_names:
+        return demand_success_probability(problem, demand, serving)
+
+    if len(isp_names) <= 12:
+        scenarios = _all_subsets(isp_names)
+    else:
+        scenarios = [set()] + [{name} for name in isp_names]
+
+    total_probability = 0.0
+    expected_success = 0.0
+    for down in scenarios:
+        scenario_probability = registry.outage_probability_of_scenario(down)
+        success = demand_success_probability(problem, demand, serving, failed_isps=down)
+        total_probability += scenario_probability
+        expected_success += scenario_probability * success
+    # Normalise in the truncated-enumeration case so the result is a proper
+    # conditional expectation over the enumerated scenarios.
+    if total_probability <= 0:
+        return 0.0
+    return expected_success / total_probability
+
+
+def solution_reliability_summary(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    registry: ISPRegistry | None = None,
+) -> dict:
+    """Per-design reliability aggregates used by examples and the C1/T6 benches."""
+    demands = problem.demands
+    baseline = [solution.success_probability(d) for d in demands]
+    summary = {
+        "min_success": min(baseline) if baseline else 1.0,
+        "mean_success": sum(baseline) / len(baseline) if baseline else 1.0,
+        "demands_meeting_threshold": sum(
+            1
+            for demand, success in zip(demands, baseline)
+            if success + 1e-12 >= demand.success_threshold
+        ),
+        "num_demands": len(demands),
+    }
+    if registry is not None and len(registry) > 0:
+        with_outages = [
+            isp_outage_success_probability(problem, solution, demand, registry)
+            for demand in demands
+        ]
+        worst_single_outage = []
+        for demand in demands:
+            serving = solution.reflectors_serving(demand)
+            worst = min(
+                (
+                    demand_success_probability(problem, demand, serving, failed_isps={name})
+                    for name in registry.names()
+                ),
+                default=0.0,
+            )
+            worst_single_outage.append(worst)
+        summary.update(
+            {
+                "mean_success_with_outages": sum(with_outages) / len(with_outages),
+                "min_success_worst_single_outage": (
+                    min(worst_single_outage) if worst_single_outage else 0.0
+                ),
+                "mean_success_worst_single_outage": (
+                    sum(worst_single_outage) / len(worst_single_outage)
+                    if worst_single_outage
+                    else 0.0
+                ),
+            }
+        )
+    return summary
+
+
+def _all_subsets(names: list[str]) -> list[set[str]]:
+    subsets: list[set[str]] = []
+    for mask in range(1 << len(names)):
+        subsets.append({names[i] for i in range(len(names)) if mask >> i & 1})
+    return subsets

@@ -1,0 +1,41 @@
+"""Packet-level streaming simulation.
+
+The paper evaluates designs analytically (loss probabilities combine by the
+rules of Section 1.3).  A deployed system, however, is judged by the *measured
+post-reconstruction loss* at each edgeserver: the fraction of packets that no
+reflector path delivered in time.  This subpackage simulates exactly that
+process, packet by packet, for any :class:`repro.core.OverlaySolution`:
+
+* :mod:`repro.simulation.packets` -- packet-session bookkeeping;
+* :mod:`repro.simulation.transport` -- per-link loss sampling and two-hop
+  delivery masks (vectorised with numpy);
+* :mod:`repro.simulation.reconstruction` -- the edgeserver's duplicate
+  suppression / hole filling (a packet survives if *any* copy arrives);
+* :mod:`repro.simulation.failures` -- injected events (ISP outages, reflector
+  crashes) over packet-index windows;
+* :mod:`repro.simulation.engine` -- the driver producing per-demand loss
+  statistics and threshold verdicts.
+
+The engine is the empirical cross-check for the analytic reliability claims
+(tests compare simulated loss with the exact formula) and the workhorse of
+the C1/T6 benchmarks and the failure-resilience example.
+"""
+
+from repro.simulation.engine import SimulationConfig, SimulationReport, simulate_solution
+from repro.simulation.failures import FailureEvent, FailureSchedule
+from repro.simulation.packets import StreamSession
+from repro.simulation.reconstruction import post_reconstruction_loss, reconstruct
+from repro.simulation.transport import simulate_demand_paths, simulate_link_losses
+
+__all__ = [
+    "FailureEvent",
+    "FailureSchedule",
+    "SimulationConfig",
+    "SimulationReport",
+    "StreamSession",
+    "post_reconstruction_loss",
+    "reconstruct",
+    "simulate_demand_paths",
+    "simulate_link_losses",
+    "simulate_solution",
+]

@@ -1,0 +1,102 @@
+"""Failure injection for the streaming simulation.
+
+Failures are expressed over *packet-index windows* (the simulation's notion of
+time): during ``[start, end)`` the affected component forwards nothing.
+
+Two kinds of events reproduce the catastrophic scenarios the paper describes
+(Section 1, Section 6.4):
+
+* ``isp_outage`` -- every link whose tail or head node is homed in the ISP is
+  dead for the window (WorldCom-style total outage, or a peering dispute
+  isolating the ISP);
+* ``reflector_crash`` -- a single reflector machine stops forwarding (server
+  failure / colo power event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A component outage over a packet-index window.
+
+    Attributes
+    ----------
+    kind:
+        ``"isp_outage"`` or ``"reflector_crash"``.
+    target:
+        ISP name or reflector name, respectively.
+    start, end:
+        Packet-index window ``[start, end)`` during which the component is down.
+    """
+
+    kind: str
+    target: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("isp_outage", "reflector_crash"):
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid window [{self.start}, {self.end})")
+
+    def window_mask(self, num_packets: int) -> np.ndarray:
+        """Boolean mask of packets falling inside the outage window."""
+        mask = np.zeros(num_packets, dtype=bool)
+        mask[min(self.start, num_packets) : min(self.end, num_packets)] = True
+        return mask
+
+
+@dataclass
+class FailureSchedule:
+    """A collection of failure events applied to a simulation run."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def add(self, event: FailureEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[FailureEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def link_outage_mask(
+        self,
+        tail: str,
+        head: str,
+        num_packets: int,
+        node_isp: dict[str, str | None] | None = None,
+    ) -> np.ndarray:
+        """Packets for which the link ``tail -> head`` is forced down.
+
+        ``node_isp`` maps node names to ISP names; reflector crashes match the
+        link's tail or head by name directly.
+        """
+        mask = np.zeros(num_packets, dtype=bool)
+        node_isp = node_isp or {}
+        for event in self.events:
+            if event.kind == "reflector_crash":
+                if event.target in (tail, head):
+                    mask |= event.window_mask(num_packets)
+            else:  # isp_outage
+                if node_isp.get(tail) == event.target or node_isp.get(head) == event.target:
+                    mask |= event.window_mask(num_packets)
+        return mask
+
+    @staticmethod
+    def single_isp_outage(isp: str, num_packets: int, fraction: float = 0.3) -> "FailureSchedule":
+        """Convenience schedule: one ISP down for a ``fraction`` of the session."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        span = int(round(fraction * num_packets))
+        start = (num_packets - span) // 2
+        return FailureSchedule([FailureEvent("isp_outage", isp, start, start + span)])

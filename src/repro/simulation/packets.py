@@ -1,0 +1,57 @@
+"""Packet-session bookkeeping for the streaming simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamSession:
+    """One simulated delivery session of a stream.
+
+    Attributes
+    ----------
+    stream:
+        Stream (commodity) name.
+    num_packets:
+        Number of packets simulated.  At typical live bitrates a packet is a
+        few milliseconds of media, so 10,000 packets is on the order of half a
+        minute of playback -- enough for the loss-rate estimate to stabilise.
+    """
+
+    stream: str
+    num_packets: int
+
+    def __post_init__(self) -> None:
+        if self.num_packets <= 0:
+            raise ValueError(f"num_packets must be positive, got {self.num_packets}")
+
+
+def loss_rate(received: np.ndarray) -> float:
+    """Fraction of packets lost given a boolean *received* mask."""
+    received = np.asarray(received, dtype=bool)
+    if received.size == 0:
+        return 1.0
+    return float(1.0 - received.mean())
+
+
+def window_loss_rates(received: np.ndarray, window: int) -> np.ndarray:
+    """Loss rate per consecutive window of ``window`` packets.
+
+    Mirrors the 5-minute-bucket accounting of bandwidth contracts
+    (Section 1.2) and lets callers inspect worst-case intervals (e.g. during
+    an injected ISP outage) rather than only the session average.
+    """
+    received = np.asarray(received, dtype=bool)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if received.size == 0:
+        return np.empty(0)
+    num_windows = int(np.ceil(received.size / window))
+    rates = np.empty(num_windows)
+    for index in range(num_windows):
+        chunk = received[index * window : (index + 1) * window]
+        rates[index] = 1.0 - chunk.mean()
+    return rates

@@ -1,0 +1,67 @@
+"""Edgeserver stream reconstruction.
+
+The paper (Section 1.1): "An edgeserver receives one or more identical copies
+of the stream, each from a different reflector, and reconstructs a cleaner
+copy of the stream ...  if the k-th packet is missing in one copy of the
+stream, the edgeserver waits for that packet to arrive in one of the other
+identical copies of the stream and uses it to fill the hole."
+
+In simulation terms: a packet survives reconstruction iff *any* copy of it was
+received.  These helpers operate on boolean "received" masks, one per
+reflector path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reconstruct(copies: list[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Combine per-path received masks into the reconstructed received mask.
+
+    Parameters
+    ----------
+    copies:
+        Either a list of 1-D boolean arrays (one per path) or a 2-D boolean
+        array of shape ``(num_paths, num_packets)``.  An empty list yields an
+        all-``False`` mask of length zero (nothing received).
+    """
+    if isinstance(copies, np.ndarray):
+        if copies.ndim == 1:
+            return copies.astype(bool)
+        if copies.ndim != 2:
+            raise ValueError("copies array must be 1-D or 2-D")
+        if copies.shape[0] == 0:
+            return np.zeros(copies.shape[1], dtype=bool)
+        return copies.astype(bool).any(axis=0)
+    if not copies:
+        return np.zeros(0, dtype=bool)
+    lengths = {len(copy) for copy in copies}
+    if len(lengths) != 1:
+        raise ValueError(f"all copies must have the same length, got lengths {sorted(lengths)}")
+    stacked = np.vstack([np.asarray(copy, dtype=bool) for copy in copies])
+    return stacked.any(axis=0)
+
+
+def post_reconstruction_loss(copies: list[np.ndarray] | np.ndarray) -> float:
+    """Fraction of packets missing from *every* copy (the paper's quality metric)."""
+    received = reconstruct(copies)
+    if received.size == 0:
+        return 1.0
+    return float(1.0 - received.mean())
+
+
+def duplicates_discarded(copies: list[np.ndarray] | np.ndarray) -> int:
+    """Number of redundant packet copies the edgeserver throws away.
+
+    A measure of the bandwidth overhead of redundancy: every packet received
+    more than once contributes its extra copies.
+    """
+    if isinstance(copies, np.ndarray):
+        stacked = copies.astype(bool) if copies.ndim == 2 else copies.astype(bool)[None, :]
+    elif copies:
+        stacked = np.vstack([np.asarray(copy, dtype=bool) for copy in copies])
+    else:
+        return 0
+    per_packet = stacked.sum(axis=0)
+    return int(np.maximum(per_packet - 1, 0).sum())

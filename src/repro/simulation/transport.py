@@ -1,0 +1,124 @@
+"""Per-link loss sampling and two-hop delivery masks.
+
+The transport layer mirrors the paper's loss model (Section 1.3): a packet
+sent over the source->reflector link and then the reflector->sink link arrives
+iff it survives *both* hops; copies sent through different reflectors are
+independent.  A crucial detail is that the source->reflector loss draw is
+**shared** by every sink served from that reflector -- if the reflector never
+received packet ``t``, none of its sinks can -- which is exactly why the
+analytic model multiplies path failures only across *different* reflectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import Demand, OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+from repro.network.loss import BernoulliLossModel, LossModel
+from repro.simulation.failures import FailureSchedule
+
+
+def simulate_link_losses(
+    loss_probability: float,
+    num_packets: int,
+    rng: np.random.Generator,
+    loss_model: LossModel | None = None,
+    link: tuple[str, str] | None = None,
+    outage_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample the boolean *lost* mask for one link, applying an outage mask."""
+    model = loss_model or BernoulliLossModel()
+    lost = model.sample_losses(loss_probability, num_packets, rng, link=link)
+    if outage_mask is not None:
+        lost = lost | np.asarray(outage_mask, dtype=bool)
+    return lost
+
+
+def simulate_stream_transport(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    stream: str,
+    num_packets: int,
+    rng: np.random.Generator,
+    loss_model: LossModel | None = None,
+    failures: FailureSchedule | None = None,
+    node_isp: dict[str, str | None] | None = None,
+) -> dict[tuple[str, str], dict[str, np.ndarray]]:
+    """Simulate one stream's delivery through the designed overlay.
+
+    Returns, for every demand of ``stream``, a mapping
+    ``reflector -> received mask`` (one boolean array per serving path).  The
+    reflector-level (source->reflector) loss draw is shared across all sinks
+    served by that reflector, as in the real system.
+    """
+    failures = failures or FailureSchedule()
+    node_isp = node_isp or {}
+
+    # Which reflectors does this stream actually use in the solution?
+    used_reflectors: set[str] = set()
+    for (sink, demand_stream), reflectors in solution.assignments.items():
+        if demand_stream == stream:
+            used_reflectors.update(reflectors)
+
+    # Source -> reflector legs (shared by all downstream sinks).
+    reflector_lost: dict[str, np.ndarray] = {}
+    for reflector in sorted(used_reflectors):
+        edge = problem.stream_edge(stream, reflector)
+        outage = failures.link_outage_mask(stream, reflector, num_packets, node_isp)
+        reflector_lost[reflector] = simulate_link_losses(
+            edge.loss_probability,
+            num_packets,
+            rng,
+            loss_model,
+            link=(stream, reflector),
+            outage_mask=outage,
+        )
+
+    # Reflector -> sink legs, per demand.
+    results: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+    for demand in problem.demands:
+        if demand.stream != stream:
+            continue
+        per_path: dict[str, np.ndarray] = {}
+        for reflector in solution.reflectors_serving(demand):
+            delivery_loss = problem.delivery_loss(reflector, demand.sink)
+            outage = failures.link_outage_mask(
+                reflector, demand.sink, num_packets, node_isp
+            )
+            lost_second_hop = simulate_link_losses(
+                delivery_loss,
+                num_packets,
+                rng,
+                loss_model,
+                link=(reflector, demand.sink),
+                outage_mask=outage,
+            )
+            received = ~reflector_lost[reflector] & ~lost_second_hop
+            per_path[reflector] = received
+        results[demand.key] = per_path
+    return results
+
+
+def simulate_demand_paths(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    demand: Demand,
+    num_packets: int,
+    rng: np.random.Generator,
+    loss_model: LossModel | None = None,
+    failures: FailureSchedule | None = None,
+    node_isp: dict[str, str | None] | None = None,
+) -> dict[str, np.ndarray]:
+    """Convenience wrapper: per-path received masks for a single demand."""
+    per_stream = simulate_stream_transport(
+        problem,
+        solution,
+        demand.stream,
+        num_packets,
+        rng,
+        loss_model=loss_model,
+        failures=failures,
+        node_isp=node_isp,
+    )
+    return per_stream.get(demand.key, {})

@@ -1,0 +1,50 @@
+"""Workload and instance generators.
+
+The paper evaluates nothing empirically (implementation is listed as future
+work) but describes the deployment its algorithm targets: Akamai's live
+streaming network, with entrypoints, reflectors and edgeservers spread across
+co-location centers and ISPs world-wide, streams with regional viewership, and
+flash-crowd events such as the January 2002 MacWorld keynote (50,000 viewers,
+16.5 Gbps peak).
+
+This subpackage synthesises such deployments so every code path of the
+algorithm and of the evaluation harness can be exercised:
+
+* :mod:`repro.workloads.random_instances` -- small random
+  :class:`~repro.core.problem.OverlayDesignProblem` instances with controlled
+  feasibility, used by unit/property tests and micro benchmarks;
+* :mod:`repro.workloads.synthetic` -- low-level building blocks (distance-based
+  loss, bandwidth price models, Zipf viewership);
+* :mod:`repro.workloads.akamai_like` -- full Akamai-like topologies (colos,
+  ISPs, reflectors, edge regions);
+* :mod:`repro.workloads.flash_crowd` -- the MacWorld-style flash-crowd
+  scenario used by the C1 benchmark and the examples.
+"""
+
+from repro.workloads.akamai_like import AkamaiLikeConfig, generate_akamai_like_topology
+from repro.workloads.flash_crowd import FlashCrowdConfig, generate_flash_crowd_scenario
+from repro.workloads.random_instances import (
+    RandomInstanceConfig,
+    random_problem,
+    small_example_problem,
+)
+from repro.workloads.synthetic import (
+    bandwidth_price,
+    distance,
+    loss_probability_from_distance,
+    zipf_viewership,
+)
+
+__all__ = [
+    "AkamaiLikeConfig",
+    "FlashCrowdConfig",
+    "RandomInstanceConfig",
+    "bandwidth_price",
+    "distance",
+    "generate_akamai_like_topology",
+    "generate_flash_crowd_scenario",
+    "loss_probability_from_distance",
+    "random_problem",
+    "small_example_problem",
+    "zipf_viewership",
+]

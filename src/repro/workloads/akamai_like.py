@@ -1,0 +1,248 @@
+"""Akamai-like overlay topologies.
+
+Substitute for the real deployment data the paper defers to future work
+(Section 7: "apply them to real-world network data gleaned from Akamai's
+streaming network").  The generator builds a deployment with the structure
+described in Sections 1.1--1.2:
+
+* a handful of *regions* (continent-scale clusters on the unit square), each
+  with its own bandwidth-price level;
+* *co-location centers* scattered inside regions, each homed in one of a small
+  number of ISPs;
+* *entrypoints* (sources) at a few colos, *reflectors* at most colos (with
+  fanout limits capturing the "50 Mbps before becoming CPU-bound" machine
+  limit), and *edgeserver* sinks at every colo;
+* link loss probabilities driven by distance plus jitter, link costs driven by
+  the destination colo's bandwidth price;
+* streams with Zipf viewership over the edge regions and per-demand quality
+  thresholds.
+
+Only aggregate shape matters for the algorithm (it consumes costs, loss
+probabilities, fanouts and thresholds), so this synthetic stand-in exercises
+exactly the same code paths as production measurements would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.isp import ISP, ISPRegistry
+from repro.network.topology import (
+    NodeRole,
+    OverlayLink,
+    OverlayNode,
+    OverlayTopology,
+    StreamSpec,
+)
+from repro.workloads.synthetic import (
+    bandwidth_price,
+    distance,
+    loss_probability_from_distance,
+    zipf_viewership,
+)
+
+
+@dataclass
+class AkamaiLikeConfig:
+    """Shape of the synthetic deployment.
+
+    Attributes
+    ----------
+    num_regions:
+        Continent-scale clusters; region index also sets the bandwidth-price
+        multiplier (later regions are "farther"/pricier).
+    colos_per_region:
+        Co-location centers per region.
+    num_isps:
+        ISPs; colos are assigned to ISPs round-robin within a region.
+    num_sources:
+        Entrypoint nodes (one per major event origin).
+    reflectors_per_colo:
+        Reflector machines per colo.
+    num_streams:
+        Live streams to carry.
+    reflector_fanout:
+        Fanout bound per reflector machine.
+    reflector_cost_range:
+        Uniform range for per-reflector operating cost.
+    quality_mix:
+        Probabilities of (premium, standard, best-effort) demands.
+    isp_outage_probability:
+        Per-ISP outage probability recorded in the returned registry.
+    edge_density:
+        Probability that a given reflector->sink link is measured/available.
+    """
+
+    num_regions: int = 3
+    colos_per_region: int = 4
+    num_isps: int = 3
+    num_sources: int = 2
+    reflectors_per_colo: int = 2
+    num_streams: int = 3
+    reflector_fanout: int = 12
+    reflector_cost_range: tuple[float, float] = (8.0, 25.0)
+    quality_mix: tuple[float, float, float] = (0.2, 0.6, 0.2)
+    isp_outage_probability: float = 0.02
+    edge_density: float = 0.85
+
+    def __post_init__(self) -> None:
+        if min(
+            self.num_regions,
+            self.colos_per_region,
+            self.num_isps,
+            self.num_sources,
+            self.reflectors_per_colo,
+            self.num_streams,
+        ) <= 0:
+            raise ValueError("all counts must be positive")
+        if abs(sum(self.quality_mix) - 1.0) > 1e-9:
+            raise ValueError("quality_mix must sum to 1")
+
+
+_QUALITY_THRESHOLDS = (0.999, 0.99, 0.95)
+
+
+def generate_akamai_like_topology(
+    config: AkamaiLikeConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[OverlayTopology, ISPRegistry]:
+    """Generate a synthetic Akamai-like deployment.
+
+    Returns the topology (convert with :meth:`OverlayTopology.to_problem`) and
+    the ISP registry describing the correlated-failure model used by the
+    simulation and the Section-6.4 benchmarks.
+    """
+    config = config or AkamaiLikeConfig()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    topology = OverlayTopology(name="akamai-like")
+    registry = ISPRegistry()
+    for isp_index in range(config.num_isps):
+        registry.add(ISP(f"isp{isp_index}", outage_probability=config.isp_outage_probability))
+
+    # Regions: cluster centers spread over the unit square, with price levels.
+    region_centers = [
+        (float(rng.uniform(0.1, 0.9)), float(rng.uniform(0.1, 0.9)))
+        for _ in range(config.num_regions)
+    ]
+    region_price = [1.0 + 0.4 * index for index in range(config.num_regions)]
+
+    # Colos, reflectors and sinks.
+    reflector_names: list[str] = []
+    sink_names: list[str] = []
+    sink_region: dict[str, int] = {}
+    colo_index = 0
+    for region, center in enumerate(region_centers):
+        for _ in range(config.colos_per_region):
+            colo_name = f"colo{colo_index}"
+            isp_name = f"isp{colo_index % config.num_isps}"
+            location = (
+                float(np.clip(center[0] + rng.normal(scale=0.05), 0.0, 1.0)),
+                float(np.clip(center[1] + rng.normal(scale=0.05), 0.0, 1.0)),
+            )
+            price = bandwidth_price(region_price[region], rng)
+            for machine in range(config.reflectors_per_colo):
+                name = f"{colo_name}-r{machine}"
+                topology.add_node(
+                    OverlayNode(
+                        name=name,
+                        role=NodeRole.REFLECTOR,
+                        location=location,
+                        colo=colo_name,
+                        isp=isp_name,
+                        capacity=config.reflector_fanout,
+                        cost=float(rng.uniform(*config.reflector_cost_range)) * price,
+                    )
+                )
+                reflector_names.append(name)
+            sink_name = f"{colo_name}-edge"
+            topology.add_node(
+                OverlayNode(
+                    name=sink_name,
+                    role=NodeRole.SINK,
+                    location=location,
+                    colo=colo_name,
+                    isp=isp_name,
+                )
+            )
+            sink_names.append(sink_name)
+            sink_region[sink_name] = region
+            colo_index += 1
+
+    # Sources: placed near distinct region centers.
+    source_names: list[str] = []
+    for source_index in range(config.num_sources):
+        center = region_centers[source_index % config.num_regions]
+        name = f"entry{source_index}"
+        topology.add_node(
+            OverlayNode(
+                name=name,
+                role=NodeRole.SOURCE,
+                location=(
+                    float(np.clip(center[0] + rng.normal(scale=0.03), 0.0, 1.0)),
+                    float(np.clip(center[1] + rng.normal(scale=0.03), 0.0, 1.0)),
+                ),
+                isp=f"isp{source_index % config.num_isps}",
+            )
+        )
+        source_names.append(name)
+
+    # Links: every source reaches every reflector; reflectors reach sinks with
+    # probability edge_density (but every sink keeps at least two candidates).
+    node = topology.node
+    for source in source_names:
+        for reflector in reflector_names:
+            dist = distance(node(source).location, node(reflector).location)
+            topology.add_link(
+                OverlayLink(
+                    tail=source,
+                    head=reflector,
+                    loss_probability=loss_probability_from_distance(dist, rng),
+                    cost=0.5 + 0.5 * dist,
+                )
+            )
+    for sink in sink_names:
+        connected = []
+        for reflector in reflector_names:
+            if rng.random() < config.edge_density:
+                connected.append(reflector)
+        while len(connected) < min(2, len(reflector_names)):
+            candidate = reflector_names[int(rng.integers(len(reflector_names)))]
+            if candidate not in connected:
+                connected.append(candidate)
+        for reflector in connected:
+            dist = distance(node(reflector).location, node(sink).location)
+            price = bandwidth_price(
+                region_price[sink_region[sink]], rng, base_price=0.6, spread=0.1
+            )
+            topology.add_link(
+                OverlayLink(
+                    tail=reflector,
+                    head=sink,
+                    loss_probability=loss_probability_from_distance(dist, rng),
+                    cost=price * (0.3 + 0.7 * dist),
+                )
+            )
+
+    # Streams with Zipf viewership over the sinks.
+    viewership = zipf_viewership(config.num_streams, len(sink_names), rng)
+    for stream_index in range(config.num_streams):
+        subscribers: dict[str, float] = {}
+        count = viewership[stream_index]
+        chosen = rng.choice(len(sink_names), size=count, replace=False)
+        for sink_idx in np.atleast_1d(chosen):
+            tier = int(rng.choice(3, p=list(config.quality_mix)))
+            subscribers[sink_names[int(sink_idx)]] = _QUALITY_THRESHOLDS[tier]
+        topology.add_stream(
+            StreamSpec(
+                name=f"stream{stream_index}",
+                source=source_names[stream_index % len(source_names)],
+                bandwidth=float(rng.choice([0.3, 1.0, 2.0])),
+                subscribers=subscribers,
+            )
+        )
+
+    return topology, registry

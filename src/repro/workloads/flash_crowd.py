@@ -1,0 +1,80 @@
+"""The MacWorld-style flash-crowd scenario.
+
+Section 1 of the paper motivates the overlay with the January 2002 MacWorld
+keynote: 50,000 simultaneous viewers, 16.5 Gbps peak, requiring hundreds of
+servers spread across colos.  This generator layers a *flash-crowd event* on
+top of an Akamai-like deployment: one high-bitrate premium stream subscribed
+by (almost) every edge region at a strict quality threshold, plus the regular
+background streams.  It is the workload of the C1 comparative benchmark and
+of the ``examples/flash_crowd_event.py`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.isp import ISPRegistry
+from repro.network.topology import NodeRole, OverlayTopology, StreamSpec
+from repro.workloads.akamai_like import AkamaiLikeConfig, generate_akamai_like_topology
+
+
+@dataclass
+class FlashCrowdConfig:
+    """Parameters of the flash-crowd scenario.
+
+    Attributes
+    ----------
+    deployment:
+        Configuration of the underlying Akamai-like deployment.
+    event_bandwidth:
+        Bitrate multiplier of the event stream (relative to a standard
+        stream); 2--20 Mbps full-screen video motivates values well above 1.
+    event_threshold:
+        Required success probability at every subscribed edgeserver.
+    subscription_fraction:
+        Fraction of edge regions subscribing to the event.
+    """
+
+    deployment: AkamaiLikeConfig | None = None
+    event_bandwidth: float = 4.0
+    event_threshold: float = 0.999
+    subscription_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.event_bandwidth <= 0:
+            raise ValueError("event bandwidth must be positive")
+        if not 0.0 < self.event_threshold < 1.0:
+            raise ValueError("event threshold must lie in (0, 1)")
+        if not 0.0 < self.subscription_fraction <= 1.0:
+            raise ValueError("subscription fraction must lie in (0, 1]")
+
+
+def generate_flash_crowd_scenario(
+    config: FlashCrowdConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[OverlayTopology, ISPRegistry]:
+    """Generate an Akamai-like deployment carrying a flash-crowd event stream."""
+    config = config or FlashCrowdConfig()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    deployment_config = config.deployment or AkamaiLikeConfig()
+    topology, registry = generate_akamai_like_topology(deployment_config, rng)
+
+    sinks = [node.name for node in topology.nodes(NodeRole.SINK)]
+    sources = [node.name for node in topology.nodes(NodeRole.SOURCE)]
+    num_subscribers = max(1, int(round(config.subscription_fraction * len(sinks))))
+    chosen = rng.choice(len(sinks), size=num_subscribers, replace=False)
+    subscribers = {sinks[int(idx)]: config.event_threshold for idx in np.atleast_1d(chosen)}
+
+    topology.add_stream(
+        StreamSpec(
+            name="flash-crowd-event",
+            source=sources[0],
+            bandwidth=config.event_bandwidth,
+            subscribers=subscribers,
+        )
+    )
+    return topology, registry

@@ -1,0 +1,232 @@
+"""Random problem instances with controlled feasibility.
+
+These generators produce abstract :class:`OverlayDesignProblem` instances
+directly (no topology layer), with enough structure to be *feasible by
+construction*: every demand can reach several reflectors whose combined weight
+exceeds the requirement, and the aggregate fanout comfortably covers the
+number of demands.  They are the workhorse of the unit tests, the
+hypothesis-based property tests, and the T1--T5 benchmarks, where we need many
+instances across a size sweep rather than deployment realism (the Akamai-like
+generator covers realism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import OverlayDesignProblem
+
+
+@dataclass
+class RandomInstanceConfig:
+    """Shape and parameter ranges of a random instance.
+
+    Attributes
+    ----------
+    num_streams, num_reflectors, num_sinks:
+        Sizes of the three levels.
+    demands_per_sink:
+        How many streams each sink subscribes to (capped at ``num_streams``).
+    reflector_cost_range, fanout_range:
+        Uniform ranges for ``r_i`` and ``F_i``.
+    stream_loss_range, delivery_loss_range:
+        Uniform ranges for the edge loss probabilities.
+    stream_cost_range, delivery_cost_range:
+        Uniform ranges for the edge costs.
+    success_threshold_range:
+        Uniform range for the per-demand success requirement ``Phi``.
+    stream_edge_density, delivery_edge_density:
+        Probability that a potential edge exists (a minimum connectivity is
+        enforced so demands never end up unreachable).
+    min_candidates_per_demand:
+        Lower bound on the number of reflectors able to serve each demand.
+    num_colors:
+        When positive, reflectors are assigned round-robin to this many colors
+        (ISPs) so the Section-6.4 extension can be exercised.
+    """
+
+    num_streams: int = 2
+    num_reflectors: int = 6
+    num_sinks: int = 10
+    demands_per_sink: int = 1
+    reflector_cost_range: tuple[float, float] = (5.0, 20.0)
+    fanout_range: tuple[int, int] = (4, 12)
+    stream_loss_range: tuple[float, float] = (0.002, 0.05)
+    delivery_loss_range: tuple[float, float] = (0.005, 0.12)
+    stream_cost_range: tuple[float, float] = (0.5, 2.0)
+    delivery_cost_range: tuple[float, float] = (0.1, 1.0)
+    success_threshold_range: tuple[float, float] = (0.95, 0.999)
+    stream_edge_density: float = 0.9
+    delivery_edge_density: float = 0.7
+    min_candidates_per_demand: int = 3
+    num_colors: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.num_streams, self.num_reflectors, self.num_sinks) <= 0:
+            raise ValueError("all level sizes must be positive")
+        if self.demands_per_sink <= 0:
+            raise ValueError("demands_per_sink must be positive")
+        if not 0.0 < self.stream_edge_density <= 1.0:
+            raise ValueError("stream_edge_density must lie in (0, 1]")
+        if not 0.0 < self.delivery_edge_density <= 1.0:
+            raise ValueError("delivery_edge_density must lie in (0, 1]")
+
+
+def random_problem(
+    config: RandomInstanceConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> OverlayDesignProblem:
+    """Generate a feasible random instance according to ``config``.
+
+    ``rng`` may be a generator, a seed, or None (fresh entropy).
+    """
+    config = config or RandomInstanceConfig()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    problem = OverlayDesignProblem(name="random-instance")
+
+    streams = [f"s{i}" for i in range(config.num_streams)]
+    reflectors = [f"r{i}" for i in range(config.num_reflectors)]
+    sinks = [f"d{i}" for i in range(config.num_sinks)]
+
+    for stream in streams:
+        problem.add_stream(stream, bandwidth=float(rng.uniform(0.5, 4.0)))
+    for index, reflector in enumerate(reflectors):
+        color = f"isp{index % config.num_colors}" if config.num_colors > 0 else None
+        problem.add_reflector(
+            reflector,
+            cost=float(rng.uniform(*config.reflector_cost_range)),
+            fanout=int(rng.integers(config.fanout_range[0], config.fanout_range[1] + 1)),
+            color=color,
+        )
+    for sink in sinks:
+        problem.add_sink(sink)
+
+    # Stream edges: ensure every stream reaches at least min_candidates reflectors.
+    stream_edges: dict[str, set[str]] = {stream: set() for stream in streams}
+    for stream in streams:
+        for reflector in reflectors:
+            if rng.random() < config.stream_edge_density:
+                stream_edges[stream].add(reflector)
+        needed = min(config.min_candidates_per_demand, len(reflectors))
+        while len(stream_edges[stream]) < needed:
+            stream_edges[stream].add(reflectors[int(rng.integers(len(reflectors)))])
+        for reflector in sorted(stream_edges[stream]):
+            problem.add_stream_edge(
+                stream,
+                reflector,
+                loss_probability=float(rng.uniform(*config.stream_loss_range)),
+                cost=float(rng.uniform(*config.stream_cost_range)),
+            )
+
+    # Delivery edges: ensure every sink is reachable from enough reflectors.
+    delivery_edges: dict[str, set[str]] = {sink: set() for sink in sinks}
+    for sink in sinks:
+        for reflector in reflectors:
+            if rng.random() < config.delivery_edge_density:
+                delivery_edges[sink].add(reflector)
+        needed = min(config.min_candidates_per_demand, len(reflectors))
+        while len(delivery_edges[sink]) < needed:
+            delivery_edges[sink].add(reflectors[int(rng.integers(len(reflectors)))])
+        for reflector in sorted(delivery_edges[sink]):
+            problem.add_delivery_edge(
+                reflector,
+                sink,
+                loss_probability=float(rng.uniform(*config.delivery_loss_range)),
+                cost=float(rng.uniform(*config.delivery_cost_range)),
+            )
+
+    # Demands: each sink subscribes to a few streams it can actually reach well.
+    demands_per_sink = min(config.demands_per_sink, config.num_streams)
+    for sink in sinks:
+        chosen = rng.choice(config.num_streams, size=demands_per_sink, replace=False)
+        for stream_index in np.atleast_1d(chosen):
+            stream = streams[int(stream_index)]
+            threshold = float(rng.uniform(*config.success_threshold_range))
+            problem.add_demand(sink, stream, success_threshold=threshold)
+
+    # Candidate fix-up: the stream-edge and delivery-edge sets were forced to be
+    # non-empty independently, but a demand needs reflectors present in *both*.
+    # Add the missing edges so every demand has at least min_candidates options.
+    for demand in problem.demands:
+        needed = min(config.min_candidates_per_demand, len(reflectors))
+        candidates = set(problem.candidate_reflectors(demand))
+        for reflector in reflectors:
+            if len(candidates) >= needed:
+                break
+            if reflector in candidates:
+                continue
+            if not problem.has_stream_edge(demand.stream, reflector):
+                problem.add_stream_edge(
+                    demand.stream,
+                    reflector,
+                    loss_probability=float(rng.uniform(*config.stream_loss_range)),
+                    cost=float(rng.uniform(*config.stream_cost_range)),
+                )
+            if not problem.has_delivery_link(reflector, demand.sink):
+                problem.add_delivery_edge(
+                    reflector,
+                    demand.sink,
+                    loss_probability=float(rng.uniform(*config.delivery_loss_range)),
+                    cost=float(rng.uniform(*config.delivery_cost_range)),
+                )
+            candidates.add(reflector)
+
+    # Clamp thresholds that the available reflectors cannot possibly meet
+    # (regenerating the demand with a weaker requirement keeps the instance
+    # feasible without biasing the structure).
+    issues = problem.feasibility_report()
+    if issues:
+        rebuilt = OverlayDesignProblem(name=problem.name)
+        for stream in streams:
+            rebuilt.add_stream(stream, bandwidth=problem.stream_bandwidth(stream))
+        for reflector in reflectors:
+            info = problem.reflector_info(reflector)
+            rebuilt.add_reflector(
+                reflector, cost=info.cost, fanout=info.fanout, color=info.color
+            )
+        for sink in sinks:
+            rebuilt.add_sink(sink)
+        for edge in problem.stream_edges():
+            rebuilt.add_stream_edge(
+                edge.stream, edge.reflector, edge.loss_probability, edge.cost
+            )
+        for reflector, sink in problem.delivery_links():
+            rebuilt.add_delivery_edge(
+                reflector,
+                sink,
+                loss_probability=problem.delivery_loss(reflector, sink),
+                cost=problem.delivery_cost(reflector, sink, streams[0]),
+            )
+        weak_keys = {issue.demand.key for issue in issues}
+        for demand in problem.demands:
+            if demand.key in weak_keys:
+                # Ask for at most 80% of the achievable weight.
+                available = sum(
+                    rebuilt.edge_weight(demand, r, cap_at_demand=False)
+                    for r in rebuilt.candidate_reflectors(demand)
+                )
+                threshold = 1.0 - float(np.exp(-0.8 * available))
+                threshold = float(np.clip(threshold, 0.5, 0.999))
+            else:
+                threshold = demand.success_threshold
+            rebuilt.add_demand(demand.sink, demand.stream, success_threshold=threshold)
+        problem = rebuilt
+
+    problem.validate()
+    return problem
+
+
+def small_example_problem(seed: int = 0) -> OverlayDesignProblem:
+    """A tiny deterministic instance used throughout the tests and docstrings."""
+    config = RandomInstanceConfig(
+        num_streams=2,
+        num_reflectors=5,
+        num_sinks=6,
+        demands_per_sink=1,
+        num_colors=2,
+    )
+    return random_problem(config, rng=seed)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OverlayDesignProblem
+from repro.workloads.random_instances import RandomInstanceConfig, random_problem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+def build_tiny_problem() -> OverlayDesignProblem:
+    """Hand-built 1-stream / 3-reflector / 2-sink instance with known numbers."""
+    problem = OverlayDesignProblem(name="tiny")
+    problem.add_stream("s")
+    problem.add_reflector("r1", cost=10.0, fanout=3)
+    problem.add_reflector("r2", cost=6.0, fanout=2)
+    problem.add_reflector("r3", cost=4.0, fanout=2)
+    problem.add_sink("d1")
+    problem.add_sink("d2")
+    problem.add_stream_edge("s", "r1", loss_probability=0.01, cost=1.0)
+    problem.add_stream_edge("s", "r2", loss_probability=0.02, cost=0.8)
+    problem.add_stream_edge("s", "r3", loss_probability=0.05, cost=0.5)
+    problem.add_delivery_edge("r1", "d1", loss_probability=0.02, cost=0.6)
+    problem.add_delivery_edge("r1", "d2", loss_probability=0.03, cost=0.7)
+    problem.add_delivery_edge("r2", "d1", loss_probability=0.05, cost=0.4)
+    problem.add_delivery_edge("r2", "d2", loss_probability=0.04, cost=0.4)
+    problem.add_delivery_edge("r3", "d1", loss_probability=0.08, cost=0.2)
+    problem.add_delivery_edge("r3", "d2", loss_probability=0.10, cost=0.2)
+    problem.add_demand("d1", "s", success_threshold=0.995)
+    problem.add_demand("d2", "s", success_threshold=0.99)
+    return problem
+
+
+@pytest.fixture
+def tiny_problem() -> OverlayDesignProblem:
+    return build_tiny_problem()
+
+
+@pytest.fixture
+def small_random_problem() -> OverlayDesignProblem:
+    """A slightly larger random instance (deterministic seed)."""
+    config = RandomInstanceConfig(
+        num_streams=2, num_reflectors=6, num_sinks=8, demands_per_sink=1, num_colors=3
+    )
+    return random_problem(config, rng=7)
+
+
+@pytest.fixture
+def colored_problem() -> OverlayDesignProblem:
+    """Instance where every reflector carries an ISP color."""
+    config = RandomInstanceConfig(
+        num_streams=1, num_reflectors=6, num_sinks=5, demands_per_sink=1, num_colors=2
+    )
+    return random_problem(config, rng=11)

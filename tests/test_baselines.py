@@ -1,0 +1,144 @@
+"""Tests for the baseline designs (repro.baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    greedy_design,
+    lp_lower_bound,
+    naive_quality_first_design,
+    random_design,
+    single_tree_design,
+)
+from repro.core.algorithm import fractional_lower_bound
+from repro.core.problem import OverlayDesignProblem
+
+
+class TestGreedy:
+    def test_meets_weight_requirements_when_capacity_allows(self, tiny_problem):
+        solution = greedy_design(tiny_problem)
+        for demand in tiny_problem.demands:
+            assert solution.weight_satisfaction(demand) >= 1.0 - 1e-9
+
+    def test_respects_fanout(self, small_random_problem):
+        solution = greedy_design(small_random_problem)
+        assert solution.max_fanout_factor() <= 1.0 + 1e-9
+
+    def test_cost_at_least_lp_bound(self, small_random_problem):
+        bound = fractional_lower_bound(small_random_problem)
+        solution = greedy_design(small_random_problem)
+        assert solution.total_cost() >= bound - 1e-6
+
+    def test_prefers_cheap_reflectors(self):
+        """With two identical reflectors differing only in cost, greedy picks the cheap one."""
+        problem = OverlayDesignProblem()
+        problem.add_stream("s")
+        problem.add_reflector("cheap", cost=1.0, fanout=4)
+        problem.add_reflector("pricey", cost=100.0, fanout=4)
+        problem.add_sink("d")
+        for name in ("cheap", "pricey"):
+            problem.add_stream_edge("s", name, 0.01, 0.1)
+            problem.add_delivery_edge(name, "d", 0.02, 0.1)
+        # One ~3% lossy path is enough for a 0.9 requirement, so a single
+        # reflector suffices and greedy must pick the cheap one.
+        problem.add_demand("d", "s", 0.9)
+        solution = greedy_design(problem)
+        assert solution.built_reflectors == {"cheap"}
+
+    def test_fanout_slack_allows_more_assignments(self):
+        problem = OverlayDesignProblem()
+        problem.add_stream("s")
+        problem.add_reflector("r", cost=1.0, fanout=1)
+        problem.add_sink("d1")
+        problem.add_sink("d2")
+        problem.add_stream_edge("s", "r", 0.01, 0.1)
+        problem.add_delivery_edge("r", "d1", 0.02, 0.1)
+        problem.add_delivery_edge("r", "d2", 0.02, 0.1)
+        problem.add_demand("d1", "s", 0.9)
+        problem.add_demand("d2", "s", 0.9)
+        strict = greedy_design(problem, fanout_slack=1.0)
+        relaxed = greedy_design(problem, fanout_slack=2.0)
+        assert len(strict.unserved_demands()) == 1
+        assert len(relaxed.unserved_demands()) == 0
+
+
+class TestNaive:
+    def test_picks_most_reliable_first(self, tiny_problem):
+        solution = naive_quality_first_design(tiny_problem)
+        demand = tiny_problem.demands[0]
+        serving = solution.reflectors_serving(demand)
+        assert serving[0] == "r1"  # lowest two-hop loss for d1
+
+    def test_meets_requirements(self, small_random_problem):
+        solution = naive_quality_first_design(small_random_problem)
+        unmet = [
+            d for d in small_random_problem.demands if solution.weight_satisfaction(d) < 1.0 - 1e-9
+        ]
+        assert len(unmet) <= small_random_problem.num_demands // 4
+
+    def test_costs_more_than_greedy_on_average(self):
+        """Quality-first ignores cost, so across seeds it should not beat greedy."""
+        from repro.workloads.random_instances import RandomInstanceConfig, random_problem
+
+        greedy_total, naive_total = 0.0, 0.0
+        for seed in range(5):
+            problem = random_problem(RandomInstanceConfig(num_reflectors=8, num_sinks=12), rng=seed)
+            greedy_total += greedy_design(problem).total_cost()
+            naive_total += naive_quality_first_design(problem).total_cost()
+        assert naive_total >= greedy_total
+
+
+class TestRandomDesign:
+    def test_deterministic_with_seed(self, small_random_problem):
+        a = random_design(small_random_problem, rng=3)
+        b = random_design(small_random_problem, rng=3)
+        assert a.assignments == b.assignments
+
+    def test_respects_fanout(self, small_random_problem):
+        solution = random_design(small_random_problem, rng=1)
+        assert solution.max_fanout_factor() <= 1.0 + 1e-9
+
+    def test_serves_demands(self, small_random_problem):
+        solution = random_design(small_random_problem, rng=2)
+        assert len(solution.unserved_demands()) == 0
+
+
+class TestSingleTree:
+    def test_exactly_one_reflector_per_demand(self, small_random_problem):
+        solution = single_tree_design(small_random_problem)
+        for demand in small_random_problem.demands:
+            assert len(solution.reflectors_serving(demand)) <= 1
+
+    def test_no_redundancy_means_lower_reliability(self, tiny_problem):
+        tree = single_tree_design(tiny_problem)
+        redundant = greedy_design(tiny_problem)
+        for demand in tiny_problem.demands:
+            assert tree.success_probability(demand) <= redundant.success_probability(
+                demand
+            ) + 1e-12
+
+    def test_prefer_cheap_option(self, tiny_problem):
+        cheap = single_tree_design(tiny_problem, prefer_cheap=True)
+        assert cheap.total_cost() <= single_tree_design(tiny_problem).total_cost() + 1e-9
+
+    def test_respects_fanout(self, small_random_problem):
+        solution = single_tree_design(small_random_problem)
+        assert solution.max_fanout_factor() <= 1.0 + 1e-9
+
+
+class TestLpBound:
+    def test_matches_core_helper(self, tiny_problem):
+        assert lp_lower_bound(tiny_problem) == pytest.approx(
+            fractional_lower_bound(tiny_problem), rel=1e-9
+        )
+
+    def test_lower_than_every_feasible_design(self, small_random_problem):
+        bound = lp_lower_bound(small_random_problem)
+        for solution in (
+            greedy_design(small_random_problem),
+            naive_quality_first_design(small_random_problem),
+            random_design(small_random_problem, rng=0),
+        ):
+            assert solution.total_cost() >= bound - 1e-6

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import dump_problem, load_problem, load_solution
+
+from .conftest import build_tiny_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    dump_problem(build_tiny_problem(), str(path))
+    return str(path)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("workload", ["random", "akamai", "flash-crowd"])
+    def test_generate_workloads(self, tmp_path, workload, capsys):
+        out = tmp_path / f"{workload}.json"
+        code = main(["generate", "--workload", workload, "--seed", "1", "--out", str(out)])
+        assert code == 0
+        problem = load_problem(str(out))
+        assert problem.num_demands > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestDesignEvaluateSimulate:
+    def test_design_writes_solution(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "design.json"
+        code = main(
+            [
+                "design",
+                "--problem",
+                problem_file,
+                "--out",
+                str(out),
+                "--seed",
+                "3",
+                "--repair",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total_cost" in output
+        problem = load_problem(problem_file)
+        solution = load_solution(str(out), problem)
+        assert solution.assignments
+
+    def test_design_isp_diversity_flag(self, tmp_path, capsys):
+        # Build a colored problem with enough ISPs and mild thresholds so the
+        # diversity-constrained LP stays feasible.
+        from repro.workloads import RandomInstanceConfig, random_problem
+
+        problem = random_problem(
+            RandomInstanceConfig(
+                num_colors=3,
+                num_reflectors=8,
+                success_threshold_range=(0.9, 0.96),
+            ),
+            rng=0,
+        )
+        problem_path = tmp_path / "colored.json"
+        dump_problem(problem, str(problem_path))
+        out = tmp_path / "colored-design.json"
+        code = main(
+            [
+                "design",
+                "--problem",
+                str(problem_path),
+                "--out",
+                str(out),
+                "--isp-diversity",
+                "--repair",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_design_reports_infeasible_problem(self, tmp_path, capsys):
+        from repro.core.problem import OverlayDesignProblem
+
+        problem = OverlayDesignProblem()
+        problem.add_stream("s")
+        problem.add_reflector("r", cost=1.0, fanout=1)
+        problem.add_sink("d")
+        problem.add_stream_edge("s", "r", 0.5, 1.0)
+        problem.add_delivery_edge("r", "d", 0.5, 1.0)
+        problem.add_demand("d", "s", 0.9999)
+        path = tmp_path / "bad.json"
+        dump_problem(problem, str(path))
+        code = main(["design", "--problem", str(path), "--out", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "cannot be satisfied" in capsys.readouterr().err
+
+    def test_evaluate_and_simulate(self, problem_file, tmp_path, capsys):
+        design_path = tmp_path / "design.json"
+        assert main(["design", "--problem", problem_file, "--out", str(design_path), "--repair"]) == 0
+        capsys.readouterr()
+
+        assert main(["evaluate", "--problem", problem_file, "--solution", str(design_path)]) == 0
+        evaluation = capsys.readouterr().out
+        assert "min_weight_fraction" in evaluation
+
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--problem",
+                    problem_file,
+                    "--solution",
+                    str(design_path),
+                    "--packets",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        simulation = capsys.readouterr().out
+        assert "loss_rate" in simulation
+        assert "mean loss" in simulation
+
+    def test_compare(self, problem_file, capsys):
+        assert main(["compare", "--problem", problem_file, "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        for name in ("spaa03+repair", "greedy", "single-tree", "random"):
+            assert name in output
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--workload", "random"])

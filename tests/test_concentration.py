@@ -1,0 +1,115 @@
+"""Tests for the Hoeffding--Chernoff utilities (repro.core.concentration)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import concentration as conc
+
+
+class TestBoundFormulas:
+    def test_lower_tail_formula(self):
+        assert conc.chernoff_lower_tail(10.0, 0.5) == pytest.approx(math.exp(-0.25 * 10 / 2))
+
+    def test_upper_tail_formula(self):
+        assert conc.chernoff_upper_tail(10.0, 0.5) == pytest.approx(math.exp(-0.25 * 10 / 3))
+
+    def test_bounds_in_unit_interval(self):
+        for mu in (0.5, 5.0, 50.0):
+            for delta in (0.1, 0.5, 0.9):
+                assert 0.0 < conc.chernoff_lower_tail(mu, delta) <= 1.0
+                assert 0.0 < conc.chernoff_upper_tail(mu, delta) <= 1.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            conc.chernoff_lower_tail(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            conc.chernoff_lower_tail(1.0, 0.0)
+        with pytest.raises(ValueError):
+            conc.chernoff_upper_tail(1.0, 1.0)
+
+    @given(st.floats(0.1, 100.0), st.floats(0.01, 0.99))
+    def test_bounds_decrease_with_mu(self, mu, delta):
+        assert conc.chernoff_lower_tail(2 * mu, delta) <= conc.chernoff_lower_tail(mu, delta)
+        assert conc.chernoff_upper_tail(2 * mu, delta) <= conc.chernoff_upper_tail(mu, delta)
+
+
+class TestHoeffdingForm:
+    def test_valid_range_enforced(self):
+        with pytest.raises(ValueError):
+            conc.hoeffding_upper_tail(10, 5.0, 6.0)  # t >= n - mu
+        with pytest.raises(ValueError):
+            conc.hoeffding_upper_tail(0, 0.0, 1.0)
+
+    def test_small_case_value(self):
+        value = conc.hoeffding_upper_tail(n=10, mu=5.0, t=2.0)
+        assert 0.0 < value < 1.0
+
+    @settings(max_examples=100)
+    @given(st.integers(5, 200), st.floats(0.05, 0.9), st.floats(0.05, 0.9))
+    def test_hoeffding_dominated_by_simplified_upper_bound(self, n, mean_fraction, delta):
+        """Appendix A derives exp(-mu*eps^2/3) from the Hoeffding form; check order."""
+        mu = mean_fraction * n
+        t = delta * mu
+        if not (0 < t < n - mu):
+            return
+        exact = conc.hoeffding_upper_tail(n, mu, t)
+        simplified = conc.chernoff_upper_tail(mu, delta)
+        # The simplified bound is weaker (larger), as the Appendix A derivation shows.
+        assert exact <= simplified + 1e-9
+
+
+class TestMultiplierChoice:
+    def test_paper_constants(self):
+        # delta = 1/4 -> c = 64 (the paper's example).
+        assert conc.multiplier_for_failure_probability(0.25) == pytest.approx(64.0)
+
+    def test_smaller_delta_needs_larger_c(self):
+        assert conc.multiplier_for_failure_probability(0.1) > conc.multiplier_for_failure_probability(
+            0.5
+        )
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            conc.multiplier_for_failure_probability(0.0)
+        with pytest.raises(ValueError):
+            conc.multiplier_for_failure_probability(1.0)
+        with pytest.raises(ValueError):
+            conc.multiplier_for_failure_probability(0.5, exponent=0.0)
+
+    def test_weight_violation_probability(self):
+        # delta^2 c = 4 gives n^{-2}.
+        assert conc.weight_violation_probability(0.25, 64.0, 100) == pytest.approx(100 ** -2.0)
+        assert conc.weight_violation_probability(0.25, 64.0, 1) == 1.0
+        with pytest.raises(ValueError):
+            conc.weight_violation_probability(0.25, 64.0, 0)
+
+
+class TestEmpiricalTails:
+    def test_empirical_matches_definition(self):
+        samples = np.array([0.5, 1.0, 2.0, 3.0])
+        mu = 2.0
+        assert conc.empirical_tail_frequency(samples, mu, 0.5, "lower") == pytest.approx(2 / 4)
+        assert conc.empirical_tail_frequency(samples, mu, 0.5, "upper") == pytest.approx(1 / 4)
+
+    def test_empirical_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            conc.empirical_tail_frequency(np.empty(0), 1.0, 0.5)
+        with pytest.raises(ValueError):
+            conc.empirical_tail_frequency(np.ones(3), 1.0, 0.5, side="sideways")
+
+    def test_bound_holds_empirically_for_bernoulli_sums(self, rng):
+        """Monte-Carlo check that the Chernoff bound is an actual upper bound."""
+        num_vars, probability, trials = 60, 0.4, 4000
+        sums = rng.binomial(num_vars, probability, size=trials).astype(float)
+        mu = num_vars * probability
+        for delta in (0.2, 0.4):
+            frequency = conc.empirical_tail_frequency(sums, mu, delta, "lower")
+            assert frequency <= conc.chernoff_lower_tail(mu, delta) + 0.02
+            frequency_upper = conc.empirical_tail_frequency(sums, mu, delta, "upper")
+            assert frequency_upper <= conc.chernoff_upper_tail(mu, delta) + 0.02

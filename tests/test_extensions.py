@@ -1,0 +1,93 @@
+"""Tests for the Section-6 extension drivers (repro.core.extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import DesignParameters
+from repro.core.extensions import (
+    color_constrained_parameters,
+    design_overlay_extended,
+)
+from repro.core.formulation import ExtensionOptions
+from repro.core.problem import OverlayDesignProblem
+
+
+class TestExtendedPipeline:
+    def test_matches_plain_pipeline_without_extensions(self, tiny_problem):
+        report = design_overlay_extended(tiny_problem, DesignParameters(seed=0))
+        assert report.path_rounding is None
+        assert report.entangled_sets == []
+        assert report.solution.assignments
+        assert report.cost_ratio > 0
+
+    def test_color_constraints_trigger_path_rounding(self, colored_problem):
+        params = color_constrained_parameters(DesignParameters(seed=1))
+        report = design_overlay_extended(colored_problem, params)
+        assert report.path_rounding is not None
+        assert report.solution.metadata["path_rounding"] is True
+
+    def test_color_constrained_solution_uses_diverse_isps(self, colored_problem):
+        params = color_constrained_parameters(DesignParameters(seed=1))
+        report = design_overlay_extended(colored_problem, params)
+        # At most 2 same-color copies per demand (capacity 1 with slack 2 in the
+        # rounding); typically exactly at most 1.
+        for demand in colored_problem.demands:
+            per_color: dict = {}
+            for reflector in report.solution.reflectors_serving(demand):
+                color = colored_problem.color(reflector)
+                per_color[color] = per_color.get(color, 0) + 1
+            for copies in per_color.values():
+                assert copies <= 2
+
+    def test_bandwidth_extension_runs_through_plain_gap(self, small_random_problem):
+        params = DesignParameters(
+            seed=2, extensions=ExtensionOptions(use_bandwidth=True)
+        )
+        report = design_overlay_extended(small_random_problem, params)
+        assert report.path_rounding is None
+        assert report.solution.assignments
+
+    def test_arc_capacities_trigger_path_rounding(self):
+        problem = OverlayDesignProblem()
+        problem.add_stream("a")
+        problem.add_stream("b")
+        for name in ("r1", "r2", "r3"):
+            problem.add_reflector(name, cost=2.0, fanout=6)
+            problem.add_stream_edge("a", name, 0.02, 1.0)
+            problem.add_stream_edge("b", name, 0.02, 1.0)
+        problem.add_sink("d")
+        problem.add_delivery_edge("r1", "d", 0.03, 0.5, capacity=1.0)
+        problem.add_delivery_edge("r2", "d", 0.03, 0.5, capacity=1.0)
+        problem.add_delivery_edge("r3", "d", 0.03, 0.5)
+        problem.add_demand("d", "a", 0.99)
+        problem.add_demand("d", "b", 0.99)
+        params = DesignParameters(
+            seed=0, extensions=ExtensionOptions(use_arc_capacities=True)
+        )
+        report = design_overlay_extended(problem, params)
+        assert report.path_rounding is not None
+        # Capacity-1 arcs may be used for at most 2 demands (slack 2).
+        for reflector in ("r1", "r2"):
+            used = sum(
+                1
+                for (sink, _stream), reflectors in report.solution.assignments.items()
+                if sink == "d" and reflector in reflectors
+            )
+            assert used <= 2
+
+    def test_repair_composes_with_extensions(self, colored_problem):
+        params = color_constrained_parameters(
+            DesignParameters(seed=3, repair_shortfall=True)
+        )
+        report = design_overlay_extended(colored_problem, params)
+        for demand in colored_problem.demands:
+            assert report.solution.weight_satisfaction(demand) >= 0.25 - 1e-9
+
+    def test_color_constrained_parameters_preserve_other_fields(self):
+        base = DesignParameters(seed=5, repair_shortfall=True, max_rounding_attempts=7)
+        params = color_constrained_parameters(base)
+        assert params.extensions.use_color_constraints
+        assert params.repair_shortfall is True
+        assert params.max_rounding_attempts == 7
+        assert params.rounding.seed == 5

@@ -1,0 +1,104 @@
+"""Tests for the flow-network container (repro.flow.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import FlowNetwork
+
+
+class TestNodes:
+    def test_add_and_count(self):
+        net = FlowNetwork()
+        a = net.add_node()
+        b = net.add_node("b")
+        assert net.num_nodes == 2
+        assert a == 0 and b == 1
+        assert net.label_of(b) == "b"
+        assert net.label_of(a) is None
+
+    def test_node_by_label_creates_once(self):
+        net = FlowNetwork()
+        first = net.node("x")
+        second = net.node("x")
+        assert first == second
+        assert net.num_nodes == 1
+        assert net.has_label("x")
+        assert not net.has_label("y")
+
+    def test_duplicate_label_rejected(self):
+        net = FlowNetwork()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+
+class TestEdges:
+    def test_add_edge_and_view(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        edge_id = net.add_edge(a, b, capacity=3.0, cost=2.0, data="payload")
+        edge = net.edge(edge_id)
+        assert edge.tail == a and edge.head == b
+        assert edge.capacity == 3.0 and edge.cost == 2.0
+        assert edge.data == "payload"
+        assert net.num_edges == 1
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(a, b, capacity=-1.0)
+
+    def test_out_of_range_nodes_rejected(self):
+        net = FlowNetwork()
+        a = net.add_node()
+        with pytest.raises(IndexError):
+            net.add_edge(a, 5, capacity=1.0)
+
+    def test_edge_lookup_rejects_odd_ids(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        net.add_edge(a, b, capacity=1.0)
+        with pytest.raises(KeyError):
+            net.edge(1)  # the residual arc, not a user edge
+        with pytest.raises(KeyError):
+            net.flow_on(1)
+
+    def test_edges_iteration(self):
+        net = FlowNetwork()
+        nodes = [net.add_node() for _ in range(3)]
+        net.add_edge(nodes[0], nodes[1], 1.0)
+        net.add_edge(nodes[1], nodes[2], 2.0)
+        assert [edge.capacity for edge in net.edges()] == [1.0, 2.0]
+
+
+class TestFlowState:
+    def test_push_and_flow_on(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        edge_id = net.add_edge(a, b, capacity=2.0, cost=1.5)
+        net._push(edge_id, 1.0)
+        assert net.flow_on(edge_id) == pytest.approx(1.0)
+        assert net.residual_capacity(edge_id) == pytest.approx(1.0)
+        assert net.total_flow_cost() == pytest.approx(1.5)
+
+    def test_reset_flow_restores_capacity(self):
+        net = FlowNetwork()
+        a, b = net.add_node(), net.add_node()
+        edge_id = net.add_edge(a, b, capacity=2.0)
+        net._push(edge_id, 2.0)
+        net.reset_flow()
+        assert net.flow_on(edge_id) == 0.0
+        assert net.residual_capacity(edge_id) == 2.0
+        assert net.edge(edge_id).capacity == 2.0
+
+    def test_flows_mapping(self):
+        net = FlowNetwork()
+        a, b, c = (net.add_node() for _ in range(3))
+        e1 = net.add_edge(a, b, capacity=1.0)
+        e2 = net.add_edge(b, c, capacity=1.0)
+        net._push(e1, 0.5)
+        flows = net.flows()
+        assert flows[e1] == pytest.approx(0.5)
+        assert flows[e2] == 0.0

@@ -1,0 +1,131 @@
+"""Tests for Dinic max-flow (repro.flow.maxflow), cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import FlowNetwork, assert_feasible_flow, max_flow
+
+
+def build_classic_example() -> tuple[FlowNetwork, int, int]:
+    """The standard 6-node max-flow textbook example (max flow = 23)."""
+    net = FlowNetwork()
+    s, a, b, c, d, t = (net.add_node() for _ in range(6))
+    net.add_edge(s, a, 16)
+    net.add_edge(s, b, 13)
+    net.add_edge(a, b, 10)
+    net.add_edge(b, a, 4)
+    net.add_edge(a, c, 12)
+    net.add_edge(c, b, 9)
+    net.add_edge(b, d, 14)
+    net.add_edge(d, c, 7)
+    net.add_edge(c, t, 20)
+    net.add_edge(d, t, 4)
+    return net, s, t
+
+
+class TestMaxFlowKnownInstances:
+    def test_classic_clrs_example(self):
+        net, s, t = build_classic_example()
+        assert max_flow(net, s, t) == pytest.approx(23.0)
+        assert_feasible_flow(net, s, t)
+
+    def test_single_edge(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        net.add_edge(s, t, 5.0)
+        assert max_flow(net, s, t) == pytest.approx(5.0)
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        net.add_node()
+        assert max_flow(net, s, t) == 0.0
+
+    def test_limit_caps_flow(self):
+        net, s, t = build_classic_example()
+        assert max_flow(net, s, t, limit=10.0) == pytest.approx(10.0)
+        assert_feasible_flow(net, s, t)
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        s = net.add_node()
+        with pytest.raises(ValueError):
+            max_flow(net, s, s)
+
+    def test_parallel_edges(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        net.add_edge(s, t, 1.0)
+        net.add_edge(s, t, 2.5)
+        assert max_flow(net, s, t) == pytest.approx(3.5)
+
+    def test_bipartite_unit_capacities(self):
+        """Unit-capacity bipartite graph: max flow equals a maximum matching."""
+        net = FlowNetwork()
+        s = net.add_node("s")
+        t = net.add_node("t")
+        lefts = [net.add_node(f"l{i}") for i in range(3)]
+        rights = [net.add_node(f"r{i}") for i in range(3)]
+        for left in lefts:
+            net.add_edge(s, left, 1.0)
+        for right in rights:
+            net.add_edge(right, t, 1.0)
+        # l0-r0, l0-r1, l1-r1, l2-r2 -> perfect matching exists.
+        net.add_edge(lefts[0], rights[0], 1.0)
+        net.add_edge(lefts[0], rights[1], 1.0)
+        net.add_edge(lefts[1], rights[1], 1.0)
+        net.add_edge(lefts[2], rights[2], 1.0)
+        assert max_flow(net, s, t) == pytest.approx(3.0)
+
+
+def _random_graph_as_both(num_nodes: int, num_edges: int, rng: np.random.Generator):
+    """Build the same random digraph as a FlowNetwork and a networkx DiGraph."""
+    net = FlowNetwork()
+    nodes = [net.add_node() for _ in range(num_nodes)]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_nodes))
+    for _ in range(num_edges):
+        u, v = rng.integers(0, num_nodes, size=2)
+        if u == v:
+            continue
+        capacity = float(rng.integers(1, 10))
+        net.add_edge(nodes[int(u)], nodes[int(v)], capacity)
+        if graph.has_edge(int(u), int(v)):
+            graph[int(u)][int(v)]["capacity"] += capacity
+        else:
+            graph.add_edge(int(u), int(v), capacity=capacity)
+    return net, graph
+
+
+class TestMaxFlowAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_match_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(4, 12))
+        num_edges = int(rng.integers(num_nodes, 4 * num_nodes))
+        net, graph = _random_graph_as_both(num_nodes, num_edges, rng)
+        source, sink = 0, num_nodes - 1
+        expected = nx.maximum_flow_value(graph, source, sink) if graph.has_node(sink) else 0.0
+        value = max_flow(net, source, sink)
+        assert value == pytest.approx(expected, abs=1e-9)
+        assert_feasible_flow(net, source, sink)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_flow_feasible_and_maximal(self, seed):
+        """Flow is always feasible, and the residual graph has no s->t path."""
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(3, 9))
+        num_edges = int(rng.integers(2, 3 * num_nodes))
+        net, graph = _random_graph_as_both(num_nodes, num_edges, rng)
+        source, sink = 0, num_nodes - 1
+        value = max_flow(net, source, sink)
+        assert value >= 0.0
+        assert_feasible_flow(net, source, sink)
+        expected = nx.maximum_flow_value(graph, source, sink)
+        assert value == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the LP expression layer (repro.lp.expr)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lp import LinearExpr, LinearProgram, Sense
+
+
+@pytest.fixture
+def model():
+    return LinearProgram()
+
+
+class TestVariableArithmetic:
+    def test_add_variables(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = x + y
+        assert expr.coeffs == {0: 1.0, 1: 1.0}
+        assert expr.constant == 0.0
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_variable("x")
+        expr = 3.0 * x
+        assert expr.coeffs == {0: 3.0}
+        expr2 = x * 2
+        assert expr2.coeffs == {0: 2.0}
+
+    def test_subtraction_and_negation(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = x - y
+        assert expr.coeffs == {0: 1.0, 1: -1.0}
+        neg = -x
+        assert neg.coeffs == {0: -1.0}
+
+    def test_adding_constants(self, model):
+        x = model.add_variable("x")
+        expr = x + 5.0
+        assert expr.constant == 5.0
+        expr2 = 5.0 + x
+        assert expr2.constant == 5.0
+        expr3 = 5.0 - x
+        assert expr3.constant == 5.0
+        assert expr3.coeffs == {0: -1.0}
+
+    def test_repeated_variable_coefficients_accumulate(self, model):
+        x = model.add_variable("x")
+        expr = x + x + 2 * x
+        assert expr.coeffs == {0: 4.0}
+
+
+class TestLinearExprHelpers:
+    def test_sum(self, model):
+        xs = [model.add_variable(f"x{i}") for i in range(4)]
+        expr = LinearExpr.sum(xs)
+        assert expr.coeffs == {i: 1.0 for i in range(4)}
+
+    def test_sum_with_constants(self, model):
+        x = model.add_variable("x")
+        expr = LinearExpr.sum([x, 2.0, 3.0])
+        assert expr.constant == 5.0
+
+    def test_weighted_sum(self, model):
+        xs = [model.add_variable(f"x{i}") for i in range(3)]
+        expr = LinearExpr.weighted_sum((float(i + 1), xs[i]) for i in range(3))
+        assert expr.coeffs == {0: 1.0, 1: 2.0, 2: 3.0}
+
+    def test_weighted_sum_merges_duplicates(self, model):
+        x = model.add_variable("x")
+        expr = LinearExpr.weighted_sum([(1.0, x), (2.5, x)])
+        assert expr.coeffs == {0: 3.5}
+
+    def test_value_evaluation(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = 2 * x + 3 * y + 1.0
+        assert expr.value([2.0, 1.0]) == pytest.approx(8.0)
+        assert expr.value({0: 2.0, 1: 1.0}) == pytest.approx(8.0)
+
+    def test_copy_is_independent(self, model):
+        x = model.add_variable("x")
+        expr = x + 1.0
+        clone = expr.copy()
+        clone += x
+        assert expr.coeffs == {0: 1.0}
+        assert clone.coeffs == {0: 2.0}
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=5))
+    def test_scalar_multiply_scales_evaluation(self, values):
+        model = LinearProgram()
+        xs = [model.add_variable(f"x{i}") for i in range(len(values))]
+        expr = LinearExpr.sum(xs)
+        assert (expr * 2.0).value(values) == pytest.approx(2.0 * expr.value(values))
+
+
+class TestConstraints:
+    def test_le_constraint(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        constraint = (x + y) <= 3.0
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 3.0
+
+    def test_ge_constraint_with_expression_rhs(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        constraint = x >= y + 1.0
+        assert constraint.sense is Sense.GE
+        # x - y >= 1
+        assert constraint.expr.coeffs == {0: 1.0, 1: -1.0}
+        assert constraint.rhs == pytest.approx(1.0)
+
+    def test_equality_constraint(self, model):
+        x = model.add_variable("x")
+        constraint = (x + 0.0).equals(2.0)
+        assert constraint.sense is Sense.EQ
+        assert constraint.rhs == 2.0
+
+    def test_constant_folded_into_rhs(self, model):
+        x = model.add_variable("x")
+        constraint = (x + 5.0) <= 7.0
+        assert constraint.rhs == pytest.approx(2.0)
+        assert constraint.expr.constant == 0.0
+
+    def test_violation_measure(self, model):
+        x = model.add_variable("x")
+        le = x <= 1.0
+        assert le.violation([2.0]) == pytest.approx(1.0)
+        assert le.violation([0.5]) == 0.0
+        ge = x >= 1.0
+        assert ge.violation([0.25]) == pytest.approx(0.75)
+        eq = (x + 0.0).equals(1.0)
+        assert eq.violation([1.3]) == pytest.approx(0.3)

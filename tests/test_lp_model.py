@@ -1,0 +1,114 @@
+"""Tests for the LP model container and its compilation (repro.lp.model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearExpr, LinearProgram, Objective
+
+
+class TestVariables:
+    def test_add_and_lookup(self):
+        model = LinearProgram()
+        x = model.add_variable("x", lower=0.0, upper=2.0)
+        assert model.num_variables == 1
+        assert model.variable_by_name("x") is x
+        assert x.lower == 0.0 and x.upper == 2.0
+
+    def test_anonymous_names(self):
+        model = LinearProgram()
+        a = model.add_variable()
+        b = model.add_variable()
+        assert a.name == "x0" and b.name == "x1"
+
+    def test_duplicate_name_rejected(self):
+        model = LinearProgram()
+        model.add_variable("x")
+        with pytest.raises(ValueError):
+            model.add_variable("x")
+
+    def test_invalid_bounds_rejected(self):
+        model = LinearProgram()
+        with pytest.raises(ValueError):
+            model.add_variable("x", lower=2.0, upper=1.0)
+
+
+class TestConstraintsAndObjective:
+    def test_add_constraint_names(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        c1 = model.add_constraint(x <= 1.0)
+        c2 = model.add_constraint(x >= 0.5, name="floor")
+        assert c1.name == "c0"
+        assert c2.name == "floor"
+        assert model.num_constraints == 2
+
+    def test_add_constraint_rejects_non_constraint(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        with pytest.raises(TypeError):
+            model.add_constraint(x + 1.0)  # an expression, not a constraint
+
+    def test_objective_value(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.set_objective(2 * x + y + 3.0)
+        assert model.objective_value([1.0, 2.0]) == pytest.approx(7.0)
+
+    def test_objective_from_variable(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        model.set_objective(x, sense=Objective.MAXIMIZE)
+        assert model.objective_sense is Objective.MAXIMIZE
+
+
+class TestCompile:
+    def test_compile_shapes_and_signs(self):
+        model = LinearProgram()
+        x = model.add_variable("x", upper=1.0)
+        y = model.add_variable("y")
+        model.add_constraint(x + y <= 4.0)
+        model.add_constraint(x - y >= -2.0)
+        model.add_constraint((x + 2 * y).equals(3.0))
+        model.set_objective(x + 2 * y)
+        compiled = model.compile()
+        assert compiled.c.tolist() == [1.0, 2.0]
+        assert compiled.A_ub.shape == (2, 2)
+        assert compiled.A_eq.shape == (1, 2)
+        # ge constraints are flipped to <= form.
+        row = compiled.A_ub.toarray()[1]
+        assert row.tolist() == [-1.0, 1.0]
+        assert compiled.b_ub[1] == pytest.approx(2.0)
+        assert compiled.bounds == [(0.0, 1.0), (0.0, None)]
+
+    def test_compile_maximization_negates_objective(self):
+        model = LinearProgram(objective_sense=Objective.MAXIMIZE)
+        x = model.add_variable("x", upper=1.0)
+        model.set_objective(3 * x)
+        compiled = model.compile()
+        assert compiled.c.tolist() == [-3.0]
+        assert compiled.objective_sign == -1.0
+
+    def test_compile_no_constraints(self):
+        model = LinearProgram()
+        model.add_variable("x", upper=1.0)
+        compiled = model.compile()
+        assert compiled.A_ub is None and compiled.A_eq is None
+
+    def test_compile_keeps_constant(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        model.set_objective(x + 10.0)
+        compiled = model.compile()
+        assert compiled.objective_constant == 10.0
+
+    def test_compile_sparse_pattern(self):
+        model = LinearProgram()
+        xs = [model.add_variable(f"x{i}") for i in range(50)]
+        model.add_constraint(LinearExpr.sum(xs[:3]) <= 1.0)
+        compiled = model.compile()
+        assert compiled.A_ub.nnz == 3
+        assert compiled.A_ub.shape == (1, 50)
+        assert np.count_nonzero(compiled.c) == 0

@@ -1,0 +1,118 @@
+"""Tests for the scipy-backed LP solver (repro.lp.solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import LinearExpr, LinearProgram, LPStatus, Objective, solve_lp
+
+
+class TestSolveBasics:
+    def test_simple_minimization(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.add_constraint(x + y >= 2.0)
+        model.set_objective(3 * x + y)
+        solution = solve_lp(model)
+        assert solution.is_optimal
+        # Cheapest way to reach 2 units is all y.
+        assert solution.value(y) == pytest.approx(2.0, abs=1e-6)
+        assert solution.value(x) == pytest.approx(0.0, abs=1e-6)
+        assert solution.objective == pytest.approx(2.0, abs=1e-6)
+
+    def test_simple_maximization(self):
+        model = LinearProgram(objective_sense=Objective.MAXIMIZE)
+        x = model.add_variable("x", upper=4.0)
+        y = model.add_variable("y", upper=3.0)
+        model.add_constraint(x + y <= 5.0)
+        model.set_objective(x + 2 * y)
+        solution = solve_lp(model)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(8.0, abs=1e-6)
+        assert solution.value(y) == pytest.approx(3.0, abs=1e-6)
+
+    def test_equality_constraints(self):
+        model = LinearProgram()
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        model.add_constraint((x + y).equals(1.0))
+        model.set_objective(x + 2 * y)
+        solution = solve_lp(model)
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_objective_constant_carried_through(self):
+        model = LinearProgram()
+        x = model.add_variable("x", lower=1.0)
+        model.set_objective(x + 100.0)
+        solution = solve_lp(model)
+        assert solution.objective == pytest.approx(101.0, abs=1e-6)
+
+    def test_empty_model(self):
+        solution = solve_lp(LinearProgram())
+        assert solution.is_optimal
+        assert solution.objective == 0.0
+
+    def test_value_map_helper(self):
+        model = LinearProgram()
+        variables = {("a", 1): model.add_variable("v1"), ("b", 2): model.add_variable("v2")}
+        model.add_constraint(variables[("a", 1)] >= 1.5)
+        model.set_objective(LinearExpr.sum(variables.values()))
+        solution = solve_lp(model)
+        mapping = solution.value_map(variables)
+        assert mapping[("a", 1)] == pytest.approx(1.5, abs=1e-6)
+        assert mapping[("b", 2)] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSolveFailures:
+    def test_infeasible(self):
+        model = LinearProgram()
+        x = model.add_variable("x", upper=1.0)
+        model.add_constraint(x >= 2.0)
+        model.set_objective(x + 0.0)
+        solution = solve_lp(model)
+        assert solution.status is LPStatus.INFEASIBLE
+        assert not solution.is_optimal
+
+    def test_unbounded(self):
+        model = LinearProgram(objective_sense=Objective.MAXIMIZE)
+        x = model.add_variable("x")
+        model.set_objective(x + 0.0)
+        solution = solve_lp(model)
+        assert solution.status in (LPStatus.UNBOUNDED, LPStatus.INFEASIBLE)
+        assert not solution.is_optimal
+
+
+class TestAgainstKnownOptima:
+    def test_transportation_problem(self):
+        """2 plants x 3 markets transportation LP with a hand-checked optimum."""
+        supply = {"p1": 20.0, "p2": 30.0}
+        demand = {"m1": 10.0, "m2": 25.0, "m3": 15.0}
+        cost = {
+            ("p1", "m1"): 2.0,
+            ("p1", "m2"): 4.0,
+            ("p1", "m3"): 5.0,
+            ("p2", "m1"): 3.0,
+            ("p2", "m2"): 1.0,
+            ("p2", "m3"): 7.0,
+        }
+        model = LinearProgram()
+        ship = {key: model.add_variable(f"ship[{key}]") for key in cost}
+        for plant, cap in supply.items():
+            model.add_constraint(
+                LinearExpr.sum(ship[key] for key in cost if key[0] == plant) <= cap
+            )
+        for market, need in demand.items():
+            model.add_constraint(
+                LinearExpr.sum(ship[key] for key in cost if key[1] == market) >= need
+            )
+        model.set_objective(
+            LinearExpr.weighted_sum((cost[key], ship[key]) for key in cost)
+        )
+        solution = solve_lp(model)
+        assert solution.is_optimal
+        # Optimal plan: p1->m1 5, p1->m3 15, p2->m1 5, p2->m2 25 (cost 125);
+        # keeping the expensive p2->m3 lane empty is what makes it optimal.
+        expected = 5 * 2.0 + 15 * 5.0 + 5 * 3.0 + 25 * 1.0
+        assert solution.objective == pytest.approx(expected, abs=1e-6)

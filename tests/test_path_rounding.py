@@ -1,0 +1,134 @@
+"""Tests for the Section-6.5 path rounding (repro.core.path_rounding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import ExtensionOptions, build_formulation
+from repro.core.path_rounding import (
+    arc_capacity_entangled_sets,
+    color_entangled_sets,
+    path_round,
+)
+from repro.core.problem import OverlayDesignProblem
+from repro.core.rounding import RoundingParameters, round_solution
+
+
+def _rounded(problem, options=None, c=64.0, seed=0):
+    formulation = build_formulation(problem, options)
+    fractional = formulation.fractional_solution(formulation.solve()).support()
+    return round_solution(problem, fractional, RoundingParameters(c=c, seed=seed))
+
+
+class TestEntangledSets:
+    def test_color_sets_grouped_per_demand_and_color(self, colored_problem):
+        rounded = _rounded(colored_problem)
+        support = list(rounded.x.keys())
+        sets = color_entangled_sets(colored_problem, support)
+        for entangled in sets:
+            assert entangled.capacity == 1.0
+            demand_keys = {key[1] for key in entangled.keys}
+            colors = {colored_problem.color(key[0]) for key in entangled.keys}
+            assert len(demand_keys) == 1
+            assert len(colors) == 1
+            assert len(entangled.keys) >= 2
+
+    def test_uncolored_problem_yields_no_color_sets(self, tiny_problem):
+        rounded = _rounded(tiny_problem)
+        assert color_entangled_sets(tiny_problem, list(rounded.x.keys())) == []
+
+    def test_arc_capacity_sets(self):
+        problem = OverlayDesignProblem()
+        problem.add_stream("a")
+        problem.add_stream("b")
+        problem.add_reflector("r", cost=1.0, fanout=8)
+        problem.add_reflector("r2", cost=1.0, fanout=8)
+        problem.add_sink("d")
+        for stream in ("a", "b"):
+            problem.add_stream_edge(stream, "r", 0.01, 1.0)
+            problem.add_stream_edge(stream, "r2", 0.01, 1.0)
+        problem.add_delivery_edge("r", "d", 0.02, 0.5, capacity=1.0)
+        problem.add_delivery_edge("r2", "d", 0.02, 0.5)
+        problem.add_demand("d", "a", 0.99)
+        problem.add_demand("d", "b", 0.99)
+        rounded = _rounded(problem)
+        sets = arc_capacity_entangled_sets(problem, list(rounded.x.keys()))
+        assert len(sets) <= 1
+        if sets:
+            assert sets[0].capacity == 1.0
+            assert all(key[0] == "r" for key in sets[0].keys)
+
+
+class TestPathRounding:
+    def test_unconstrained_path_rounding_serves_demands(self, tiny_problem):
+        rounded = _rounded(tiny_problem)
+        result = path_round(tiny_problem, rounded, rng=np.random.default_rng(0))
+        assert result.assignments
+        assert result.boxes_served == result.boxes_total
+        served_demands = {key[1] for key in result.assignments}
+        assert served_demands == {d.key for d in tiny_problem.demands}
+
+    def test_weight_guarantee_similar_to_gap(self, small_random_problem):
+        rounded = _rounded(small_random_problem, seed=2)
+        result = path_round(small_random_problem, rounded, rng=np.random.default_rng(1))
+        served: dict = {}
+        for reflector, demand_key in result.assignments:
+            served.setdefault(demand_key, []).append(reflector)
+        for demand in small_random_problem.demands:
+            delivered = sum(
+                small_random_problem.edge_weight(demand, r)
+                for r in served.get(demand.key, [])
+            )
+            assert delivered >= small_random_problem.demand_weight(demand) / 4.0 - 1e-9
+
+    def test_color_constraints_respected_within_slack(self, colored_problem):
+        options = ExtensionOptions(use_color_constraints=True)
+        rounded = _rounded(colored_problem, options=options, seed=1)
+        support = list(rounded.x.keys())
+        entangled = color_entangled_sets(colored_problem, support)
+        result = path_round(
+            colored_problem,
+            rounded,
+            entangled_sets=entangled,
+            rng=np.random.default_rng(3),
+            entangled_slack=2.0,
+        )
+        # At most "capacity * slack" distinct reflectors of one color per demand.
+        used_pairs = result.assignments
+        for entangled_set in entangled:
+            used = len(used_pairs & entangled_set.keys)
+            assert used <= 2.0 * entangled_set.capacity + 1e-9
+        assert result.violation_factors.get("entangled", 0.0) <= 2.0 + 1e-9
+
+    def test_fanout_violation_bounded(self, small_random_problem):
+        rounded = _rounded(small_random_problem, seed=5)
+        result = path_round(small_random_problem, rounded, rng=np.random.default_rng(5))
+        per_reflector: dict = {}
+        for reflector, demand_key in result.assignments:
+            per_reflector[reflector] = per_reflector.get(reflector, 0) + 1
+        for reflector, used in per_reflector.items():
+            assert used <= 4.0 * small_random_problem.fanout(reflector) + 1e-9
+
+    def test_cost_reported_matches_assignments(self, tiny_problem):
+        rounded = _rounded(tiny_problem)
+        result = path_round(tiny_problem, rounded, rng=np.random.default_rng(0))
+        expected = sum(
+            tiny_problem.delivery_cost(reflector, sink, stream)
+            for reflector, (sink, stream) in result.assignments
+        )
+        assert result.cost == pytest.approx(expected)
+        assert result.lp_cost >= 0.0
+
+    def test_empty_support_returns_empty_result(self, tiny_problem):
+        rounded = _rounded(tiny_problem)
+        rounded.x = {}
+        result = path_round(tiny_problem, rounded, rng=np.random.default_rng(0))
+        assert result.assignments == set()
+        assert result.boxes_total == 0
+
+    def test_deterministic_with_rng(self, colored_problem):
+        rounded = _rounded(colored_problem, seed=7)
+        a = path_round(colored_problem, rounded, rng=np.random.default_rng(11))
+        b = path_round(colored_problem, rounded, rng=np.random.default_rng(11))
+        assert a.assignments == b.assignments

@@ -1,0 +1,198 @@
+"""Tests for the packet-level simulation (repro.simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solution import OverlaySolution
+from repro.network.loss import GilbertElliottLossModel
+from repro.simulation import (
+    FailureEvent,
+    FailureSchedule,
+    SimulationConfig,
+    StreamSession,
+    post_reconstruction_loss,
+    reconstruct,
+    simulate_demand_paths,
+    simulate_solution,
+)
+from repro.simulation.packets import loss_rate, window_loss_rates
+from repro.simulation.reconstruction import duplicates_discarded
+
+
+@pytest.fixture
+def tiny_solution(tiny_problem):
+    return OverlaySolution.from_assignments(
+        tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1", "r3"]}
+    )
+
+
+class TestPackets:
+    def test_session_validation(self):
+        with pytest.raises(ValueError):
+            StreamSession("s", 0)
+        assert StreamSession("s", 10).num_packets == 10
+
+    def test_loss_rate(self):
+        assert loss_rate(np.array([True, True, False, False])) == pytest.approx(0.5)
+        assert loss_rate(np.empty(0, dtype=bool)) == 1.0
+
+    def test_window_loss_rates(self):
+        received = np.array([True] * 10 + [False] * 10)
+        rates = window_loss_rates(received, window=10)
+        assert rates.tolist() == [0.0, 1.0]
+        with pytest.raises(ValueError):
+            window_loss_rates(received, window=0)
+
+
+class TestReconstruction:
+    def test_any_copy_suffices(self):
+        copy_a = np.array([True, False, False, True])
+        copy_b = np.array([False, True, False, True])
+        received = reconstruct([copy_a, copy_b])
+        assert received.tolist() == [True, True, False, True]
+        assert post_reconstruction_loss([copy_a, copy_b]) == pytest.approx(0.25)
+
+    def test_2d_array_input(self):
+        stacked = np.array([[True, False], [False, False]])
+        assert reconstruct(stacked).tolist() == [True, False]
+
+    def test_empty_copies(self):
+        assert reconstruct([]).size == 0
+        assert post_reconstruction_loss([]) == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct([np.array([True]), np.array([True, False])])
+
+    def test_duplicates_discarded(self):
+        copy_a = np.array([True, True, False])
+        copy_b = np.array([True, False, False])
+        assert duplicates_discarded([copy_a, copy_b]) == 1
+        assert duplicates_discarded([]) == 0
+
+
+class TestFailures:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent("weird", "x", 0, 10)
+        with pytest.raises(ValueError):
+            FailureEvent("isp_outage", "x", 10, 5)
+
+    def test_window_mask(self):
+        event = FailureEvent("reflector_crash", "r1", 2, 5)
+        mask = event.window_mask(8)
+        assert mask.tolist() == [False, False, True, True, True, False, False, False]
+
+    def test_link_outage_mask_matches_targets(self):
+        schedule = FailureSchedule(
+            [
+                FailureEvent("reflector_crash", "r1", 0, 5),
+                FailureEvent("isp_outage", "ispA", 5, 10),
+            ]
+        )
+        node_isp = {"r2": "ispA", "d": "ispB"}
+        mask_r1 = schedule.link_outage_mask("r1", "d", 10)
+        assert mask_r1[:5].all() and not mask_r1[5:].any()
+        mask_r2 = schedule.link_outage_mask("r2", "d", 10, node_isp)
+        assert mask_r2[5:].all() and not mask_r2[:5].any()
+        mask_other = schedule.link_outage_mask("r3", "d", 10, node_isp)
+        assert not mask_other.any()
+
+    def test_single_isp_outage_helper(self):
+        schedule = FailureSchedule.single_isp_outage("ispA", 1000, fraction=0.25)
+        assert len(schedule) == 1
+        event = schedule.events[0]
+        assert event.end - event.start == 250
+        with pytest.raises(ValueError):
+            FailureSchedule.single_isp_outage("ispA", 100, fraction=0.0)
+
+
+class TestTransportAndEngine:
+    def test_simulated_loss_matches_analytic(self, tiny_problem, tiny_solution, rng):
+        """Measured post-reconstruction loss ~ exact failure probability."""
+        config = SimulationConfig(num_packets=40_000, seed=1)
+        report = simulate_solution(tiny_problem, tiny_solution, config)
+        for demand in tiny_problem.demands:
+            analytic = tiny_solution.failure_probability(demand)
+            measured = report.result_for(demand.key).loss_rate
+            assert measured == pytest.approx(analytic, abs=0.004)
+
+    def test_unserved_demand_loses_everything(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r1"]})
+        report = simulate_solution(
+            tiny_problem, solution, SimulationConfig(num_packets=500, seed=0)
+        )
+        assert report.result_for(("d2", "s")).loss_rate == 1.0
+        assert not report.result_for(("d2", "s")).meets_threshold
+
+    def test_more_paths_lower_loss(self, tiny_problem, rng):
+        single = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r3"]})
+        double = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r3", "r1"]})
+        config = SimulationConfig(num_packets=20_000, seed=3)
+        loss_single = simulate_solution(tiny_problem, single, config).result_for(("d1", "s")).loss_rate
+        loss_double = simulate_solution(tiny_problem, double, config).result_for(("d1", "s")).loss_rate
+        assert loss_double < loss_single
+
+    def test_reflector_crash_increases_window_loss(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r1"]})
+        schedule = FailureSchedule([FailureEvent("reflector_crash", "r1", 0, 2500)])
+        config = SimulationConfig(num_packets=5000, window=500, failures=schedule, seed=0)
+        report = simulate_solution(tiny_problem, solution, config)
+        result = report.result_for(("d1", "s"))
+        assert result.loss_rate > 0.45
+        assert result.worst_window_loss == pytest.approx(1.0)
+
+    def test_isp_outage_only_affects_that_isp(self, tiny_problem):
+        node_isp = {"r1": "ispA", "r2": "ispB", "r3": "ispB"}
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        schedule = FailureSchedule([FailureEvent("isp_outage", "ispA", 0, 10_000)])
+        config = SimulationConfig(num_packets=10_000, failures=schedule, seed=0)
+        report = simulate_solution(tiny_problem, solution, config, node_isp=node_isp)
+        # d1 still has r2 (ispB) -> low loss; d2 only had r1 (ispA) -> total loss.
+        assert report.result_for(("d1", "s")).loss_rate < 0.2
+        assert report.result_for(("d2", "s")).loss_rate == pytest.approx(1.0)
+
+    def test_shared_first_hop_draw(self, tiny_problem):
+        """Two sinks served by the same reflector share its source->reflector losses."""
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1"], ("d2", "s"): ["r1"]}
+        )
+        rng = np.random.default_rng(0)
+        paths_d1 = simulate_demand_paths(
+            tiny_problem, solution, tiny_problem.demands[0], 2000, rng
+        )
+        assert set(paths_d1) == {"r1"}
+
+    def test_bursty_model_same_average(self, tiny_problem, tiny_solution):
+        config = SimulationConfig(
+            num_packets=40_000,
+            loss_model=GilbertElliottLossModel(),
+            seed=5,
+        )
+        report = simulate_solution(tiny_problem, tiny_solution, config)
+        for demand in tiny_problem.demands:
+            analytic = tiny_solution.failure_probability(demand)
+            measured = report.result_for(demand.key).loss_rate
+            # Bursty loss keeps roughly the same average (correlations shift it a bit).
+            assert measured == pytest.approx(analytic, abs=0.02)
+
+    def test_report_summary_and_aggregates(self, tiny_problem, tiny_solution):
+        report = simulate_solution(
+            tiny_problem, tiny_solution, SimulationConfig(num_packets=2000, seed=2)
+        )
+        summary = report.summary()
+        assert summary["num_demands"] == 2
+        assert 0.0 <= summary["mean_loss"] <= summary["max_loss"] <= 1.0
+        assert 0.0 <= report.fraction_meeting_threshold <= 1.0
+        with pytest.raises(KeyError):
+            report.result_for(("missing", "s"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_packets=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(window=0)
