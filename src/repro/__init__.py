@@ -18,9 +18,15 @@ Quick start
 >>> problem.add_delivery_edge("r1", "boston", loss_probability=0.05, cost=0.5)
 >>> problem.add_delivery_edge("r2", "boston", loss_probability=0.10, cost=0.25)
 >>> problem.add_demand("boston", "concert", success_threshold=0.99)
->>> report = design_overlay(problem, DesignParameters(seed=7))
+>>> report = design_overlay(problem, DesignParameters(seed=7, repair_shortfall=True))
 >>> report.solution.success_probability(problem.demands[0]) >= 0.99
 True
+>>> report.solution.total_cost() >= report.lp_lower_bound
+True
+
+(``repair_shortfall`` enables the Section-7-style greedy repair pass; the
+bare approximation algorithm only meets the threshold *with high
+probability*, which on a two-reflector toy instance is not a certainty.)
 
 Package layout
 --------------
@@ -42,7 +48,11 @@ from repro.core.algorithm import (
     repair_weight_shortfalls,
 )
 from repro.core.extensions import design_overlay_extended
-from repro.core.formulation import ExtensionOptions, build_formulation
+from repro.core.formulation import (
+    ExtensionOptions,
+    build_formulation,
+    build_sparse_formulation,
+)
 from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, StreamEdge
 from repro.core.rounding import RoundingParameters
 from repro.core.solution import OverlaySolution
@@ -60,6 +70,7 @@ __all__ = [
     "RoundingParameters",
     "StreamEdge",
     "build_formulation",
+    "build_sparse_formulation",
     "design_overlay",
     "design_overlay_extended",
     "fractional_lower_bound",

@@ -28,7 +28,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.algorithm import DesignParameters, DesignReport, repair_weight_shortfalls
-from repro.core.formulation import ExtensionOptions, build_formulation
+from repro.core.formulation import (
+    ExtensionOptions,
+    build_formulation,
+    build_sparse_formulation,
+)
 from repro.core.gap import GapResult, gap_round
 from repro.core.path_rounding import (
     EntangledSet,
@@ -69,7 +73,10 @@ def design_overlay_extended(
     timings: dict[str, float] = {}
 
     start = time.perf_counter()
-    formulation = build_formulation(problem, options)
+    if parameters.lp_backend == "sparse":
+        formulation = build_sparse_formulation(problem, options)
+    else:
+        formulation = build_formulation(problem, options)
     timings["formulate"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -148,6 +155,7 @@ def design_overlay_extended(
         formulation_size=(formulation.num_variables, formulation.num_constraints),
         stage_seconds=timings,
         rounding_attempts=attempts,
+        lp_build_stats=getattr(formulation, "stats", None),
         path_rounding=path_result,
         entangled_sets=entangled,
     )
@@ -172,6 +180,7 @@ def color_constrained_parameters(
         keep_degenerate_box=base.keep_degenerate_box,
         repair_shortfall=base.repair_shortfall,
         repair_fanout_slack=base.repair_fanout_slack,
+        lp_backend=base.lp_backend,
     )
 
 

@@ -363,6 +363,25 @@ class OverlayDesignProblem:
         """All (reflector, sink) pairs with a delivery edge."""
         return list(self._delivery_links)
 
+    def delivery_link_data(self) -> list[tuple[str, str, float, float]]:
+        """``(reflector, sink, loss, base_cost)`` per link, in insertion order.
+
+        Bulk accessor for the vectorized LP builder: one call instead of two
+        per-link lookups, so instance data can be lifted into numpy arrays.
+        """
+        return [
+            (reflector, sink, loss, cost)
+            for (reflector, sink), (loss, cost) in self._delivery_links.items()
+        ]
+
+    def delivery_stream_cost_overrides(self) -> dict[tuple[str, str], dict[str, float]]:
+        """Per-stream cost overrides: ``(reflector, sink) -> {stream: cost}``."""
+        return {key: dict(value) for key, value in self._delivery_stream_costs.items()}
+
+    def arc_capacities(self) -> dict[tuple[str, str], float]:
+        """All declared Section-6.3 arc capacities: ``(reflector, sink) -> u_ij``."""
+        return dict(self._arc_capacity)
+
     def arc_capacity(self, reflector: str, sink: str) -> float | None:
         """Section 6.3 capacity of the reflector->sink arc, or None."""
         return self._arc_capacity.get((reflector, sink))

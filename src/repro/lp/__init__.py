@@ -6,34 +6,55 @@ self-contained LP *modeling* layer (variables, linear expressions, linear
 constraints, objective) and a solver backend that compiles the model to the
 sparse matrix form expected by :func:`scipy.optimize.linprog` (HiGHS).
 
-The modeling layer exists so that the formulation code in
-:mod:`repro.core.formulation` reads like the paper's IP, and so that the
-Section 6 extensions can add constraints without touching matrix assembly.
+Two build paths share one solver backend:
+
+* the *expression-tree* layer (:mod:`repro.lp.expr` / :mod:`repro.lp.model`)
+  builds one Python object per variable and constraint so the formulation
+  code in :mod:`repro.core.formulation` reads like the paper's IP -- this is
+  the teaching / compatibility surface;
+* the *vectorized sparse* layer (:mod:`repro.lp.sparse`) assembles the same
+  matrices as batched numpy blocks, which is what the production pipeline
+  uses (``O(|S|·|R|·|D|)`` variables are assembled in a handful of array
+  operations instead of millions of dict updates).
+
+Both compile to the same :class:`~repro.lp.model.CompiledLP` structure and
+are solved by :func:`solve_compiled`.
 
 Public API
 ----------
-``LinearProgram``  -- model container (variables, constraints, objective).
-``Variable``       -- decision variable handle; supports arithmetic.
-``LinearExpr``     -- affine expression over variables.
-``Constraint``     -- linear constraint (<=, >=, ==).
-``solve_lp``       -- solve a model, returning an ``LPSolution``.
-``LPSolution``     -- status, objective value, per-variable values.
-``LPStatus``       -- enum of solver outcomes.
+``LinearProgram``    -- model container (variables, constraints, objective).
+``Variable``         -- decision variable handle; supports arithmetic.
+``LinearExpr``       -- affine expression over variables.
+``Constraint``       -- linear constraint (<=, >=, ==).
+``SparseLPBuilder``  -- vectorized batched-block model builder.
+``VariableArena``    -- vectorized variable-index allocator.
+``LPBuildStats``     -- timing/size report of a sparse assembly.
+``solve_lp``         -- solve a ``LinearProgram``, returning an ``LPSolution``.
+``solve_compiled``   -- solve an already-compiled matrix-form LP.
+``LPSolution``       -- status, objective value, per-variable values.
+``LPStatus``         -- enum of solver outcomes.
 """
 
 from repro.lp.expr import Constraint, LinearExpr, Sense, Variable
-from repro.lp.model import LinearProgram, Objective
+from repro.lp.model import CompiledLP, LinearProgram, Objective
 from repro.lp.result import LPSolution, LPStatus
-from repro.lp.solver import solve_lp
+from repro.lp.sparse import BlockStats, LPBuildStats, SparseLPBuilder, VariableArena
+from repro.lp.solver import solve_compiled, solve_lp
 
 __all__ = [
+    "BlockStats",
+    "CompiledLP",
     "Constraint",
     "LinearExpr",
     "LinearProgram",
+    "LPBuildStats",
     "LPSolution",
     "LPStatus",
     "Objective",
     "Sense",
+    "SparseLPBuilder",
     "Variable",
+    "VariableArena",
     "solve_lp",
+    "solve_compiled",
 ]

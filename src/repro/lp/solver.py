@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.lp.model import LinearProgram
+from repro.lp.model import CompiledLP, LinearProgram
 from repro.lp.result import LPSolution, LPStatus
 
 #: scipy.optimize.linprog status codes -> our enum.
@@ -38,8 +38,19 @@ def solve_lp(model: LinearProgram, method: str = "highs") -> LPSolution:
     """
     if model.num_variables == 0:
         return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, values=np.empty(0))
+    return solve_compiled(model.compile(), method=method)
 
-    compiled = model.compile()
+
+def solve_compiled(compiled: CompiledLP, method: str = "highs") -> LPSolution:
+    """Solve an already-compiled matrix-form LP.
+
+    Both build paths converge here: the expression-tree layer compiles via
+    :meth:`repro.lp.model.LinearProgram.compile`, the vectorized layer via
+    :meth:`repro.lp.sparse.SparseLPBuilder.build`.
+    """
+    if len(compiled.c) == 0:
+        return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, values=np.empty(0))
+
     result = linprog(
         c=compiled.c,
         A_ub=compiled.A_ub,

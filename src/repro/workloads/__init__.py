@@ -34,12 +34,14 @@ from repro.workloads.synthetic import (
     loss_probability_from_distance,
     zipf_viewership,
 )
+from repro.workloads.tiny import build_tiny_problem
 
 __all__ = [
     "AkamaiLikeConfig",
     "FlashCrowdConfig",
     "RandomInstanceConfig",
     "bandwidth_price",
+    "build_tiny_problem",
     "distance",
     "generate_akamai_like_topology",
     "generate_flash_crowd_scenario",

@@ -8,8 +8,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.serialization import dump_problem, load_problem, load_solution
-
-from .conftest import build_tiny_problem
+from repro.workloads.tiny import build_tiny_problem
 
 
 @pytest.fixture

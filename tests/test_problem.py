@@ -6,8 +6,7 @@ import pytest
 
 from repro.core.problem import Demand, OverlayDesignProblem
 from repro.core.weights import threshold_to_weight
-
-from .conftest import build_tiny_problem
+from repro.workloads.tiny import build_tiny_problem
 
 
 class TestBuilding:

@@ -1,0 +1,282 @@
+"""Tests for the vectorized sparse LP path (repro.lp.sparse + sparse formulation).
+
+The contract under test: the sparse path builds *the same relaxation* as the
+expression-tree path for every constraint family and every Section-6
+extension, reaching the same optimal objective, while reporting honest
+assembly statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DesignParameters, design_overlay, fractional_lower_bound
+from repro.core.formulation import (
+    ExtensionOptions,
+    build_formulation,
+    build_sparse_formulation,
+)
+from repro.core.problem import OverlayDesignProblem
+from repro.lp import LPStatus, Objective, Sense, SparseLPBuilder, VariableArena, solve_compiled
+from repro.workloads.tiny import build_tiny_problem
+
+
+class TestVariableArena:
+    def test_blocks_hand_out_contiguous_indices(self):
+        arena = VariableArena()
+        a = arena.add_block(3, name="a")
+        b = arena.add_block(2, lower=1.0, upper=np.inf, name="b")
+        assert a.tolist() == [0, 1, 2]
+        assert b.tolist() == [3, 4]
+        assert arena.size == 5
+        bounds = arena.bounds_array()
+        assert bounds.shape == (5, 2)
+        assert bounds[0].tolist() == [0.0, 1.0]
+        assert bounds[3, 0] == 1.0 and np.isinf(bounds[3, 1])
+
+    def test_bad_bounds_rejected(self):
+        arena = VariableArena()
+        with pytest.raises(ValueError):
+            arena.add_block(2, lower=1.0, upper=0.0)
+        with pytest.raises(ValueError):
+            arena.add_block(-1)
+
+
+class TestSparseLPBuilder:
+    def build_small(self):
+        # min x0 + 2 x1  s.t.  x0 + x1 >= 1,  x1 <= 0.4
+        builder = SparseLPBuilder(name="small")
+        x = builder.add_variables(2, 0.0, 1.0, name="x")
+        builder.add_objective_terms(x, np.array([1.0, 2.0]))
+        builder.add_block("cover", [0, 0], x, [1.0, 1.0], [1.0], Sense.GE)
+        builder.add_block("cap", [0], x[1:], [1.0], [0.4], Sense.LE)
+        return builder
+
+    def test_build_and_solve(self):
+        compiled, stats = self.build_small().build()
+        assert stats.num_variables == 2
+        assert stats.num_inequality_rows == 2
+        assert stats.num_equality_rows == 0
+        assert stats.num_nonzeros == 3
+        assert [b.name for b in stats.blocks] == ["cover", "cap"]
+        assert stats.build_seconds >= stats.compile_seconds >= 0.0
+        solution = solve_compiled(compiled)
+        assert solution.status is LPStatus.OPTIMAL
+        # Optimum puts all mass on the cheap variable: x = (1, 0).
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.values.tolist() == pytest.approx([1.0, 0.0])
+
+    def test_ge_blocks_are_negated_into_ub_form(self):
+        compiled, _ = self.build_small().build()
+        # Row 0 is the GE block: stored as -x0 - x1 <= -1.
+        dense = compiled.A_ub.toarray()
+        assert dense[0].tolist() == [-1.0, -1.0]
+        assert compiled.b_ub[0] == -1.0
+
+    def test_equality_blocks_go_to_a_eq(self):
+        builder = SparseLPBuilder(name="eq")
+        x = builder.add_variables(2, 0.0, np.inf)
+        builder.add_objective_terms(x, np.array([1.0, 1.0]))
+        builder.add_block("sum", [0, 0], x, [1.0, 1.0], [3.0], Sense.EQ)
+        compiled, stats = builder.build()
+        assert stats.num_equality_rows == 1 and stats.num_inequality_rows == 0
+        solution = solve_compiled(compiled)
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_maximization_sign_flip(self):
+        builder = SparseLPBuilder(name="max", objective_sense=Objective.MAXIMIZE)
+        x = builder.add_variables(1, 0.0, 2.0)
+        builder.add_objective_terms(x, np.array([3.0]))
+        compiled, _ = builder.build()
+        solution = solve_compiled(compiled)
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_duplicate_objective_terms_accumulate(self):
+        builder = SparseLPBuilder()
+        x = builder.add_variables(1, 0.0, 1.0)
+        builder.add_objective_terms(np.array([0, 0]), np.array([1.0, 2.0]))
+        compiled, _ = builder.build()
+        assert compiled.c.tolist() == [3.0]
+
+    def test_mismatched_arrays_rejected(self):
+        builder = SparseLPBuilder()
+        x = builder.add_variables(2)
+        with pytest.raises(ValueError):
+            builder.add_objective_terms(x, np.array([1.0]))
+        with pytest.raises(ValueError):
+            builder.add_block("bad", [0], x, [1.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            builder.add_block("bad rows", [5], x[:1], [1.0], [1.0])
+        with pytest.raises(ValueError):
+            builder.add_block("bad cols", [0], [99], [1.0], [1.0])
+
+    def test_empty_block_is_ignored(self):
+        builder = SparseLPBuilder()
+        builder.add_variables(1)
+        builder.add_block("empty", [], [], [], [])
+        compiled, stats = builder.build()
+        assert compiled.A_ub is None
+        assert stats.num_constraints == 0
+
+
+def _parity_case(problem: OverlayDesignProblem, options: ExtensionOptions | None = None):
+    expr = build_formulation(problem, options)
+    sparse = build_sparse_formulation(problem, options)
+    return expr, sparse
+
+
+class TestFormulationParity:
+    """Sparse and expression-tree builders must describe the same LP."""
+
+    @pytest.fixture
+    def tiny(self):
+        return build_tiny_problem()
+
+    def test_same_shape_and_support(self, tiny):
+        expr, sparse = _parity_case(tiny)
+        assert sparse.num_variables == expr.num_variables
+        assert sparse.num_constraints == expr.num_constraints
+        assert sparse.z_keys == list(expr.z_vars)
+        assert sparse.y_keys == list(expr.y_vars)
+        assert sparse.x_keys == list(expr.x_vars)
+
+    def test_same_weights_and_demand_weights(self, tiny):
+        expr, sparse = _parity_case(tiny)
+        for key, weight in expr.weights.items():
+            assert sparse.weights[key] == pytest.approx(weight, abs=1e-12)
+        for key, weight in expr.demand_weights.items():
+            assert sparse.demand_weights[key] == pytest.approx(weight, abs=1e-12)
+
+    def test_same_objective_on_tiny(self, tiny):
+        expr, sparse = _parity_case(tiny)
+        obj_expr = expr.solve().objective
+        obj_sparse = sparse.solve().objective
+        assert obj_sparse == pytest.approx(obj_expr, abs=1e-9)
+
+    def test_same_fractional_solution_support(self, tiny):
+        expr, sparse = _parity_case(tiny)
+        frac_expr = expr.fractional_solution(expr.solve())
+        frac_sparse = sparse.fractional_solution(sparse.solve())
+        for key in frac_expr.x:
+            assert frac_sparse.x[key] == pytest.approx(frac_expr.x[key], abs=1e-6)
+        for key in frac_expr.z:
+            assert frac_sparse.z[key] == pytest.approx(frac_expr.z[key], abs=1e-6)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            ExtensionOptions(drop_cutting_plane=True),
+            ExtensionOptions(use_bandwidth=True),
+            ExtensionOptions(use_reflector_capacities=True),
+            ExtensionOptions(use_arc_capacities=True),
+            ExtensionOptions(use_color_constraints=True),
+            ExtensionOptions(
+                use_bandwidth=True,
+                use_reflector_capacities=True,
+                use_arc_capacities=True,
+                use_color_constraints=True,
+            ),
+        ],
+        ids=["no-cut", "bandwidth", "refl-cap", "arc-cap", "colors", "all"],
+    )
+    def test_extension_parity_on_random_instance(self, small_random_problem, options):
+        expr, sparse = _parity_case(small_random_problem, options)
+        assert sparse.num_variables == expr.num_variables
+        assert sparse.num_constraints == expr.num_constraints
+        obj_expr = expr.solve().objective
+        obj_sparse = sparse.solve().objective
+        assert obj_sparse == pytest.approx(obj_expr, abs=1e-9)
+
+    def test_capacity_constraints_parity_on_capacitated_instance(self):
+        problem = OverlayDesignProblem(name="capacitated")
+        problem.add_stream("a")
+        problem.add_stream("b")
+        problem.add_reflector("r1", cost=2.0, fanout=5, capacity=1)
+        problem.add_reflector("r2", cost=3.0, fanout=5)
+        problem.add_sink("d")
+        for stream in ("a", "b"):
+            problem.add_stream_edge(stream, "r1", 0.01, 1.0)
+            problem.add_stream_edge(stream, "r2", 0.01, 1.2)
+        problem.add_delivery_edge("r1", "d", 0.02, 0.5, capacity=1.0)
+        problem.add_delivery_edge("r2", "d", 0.02, 0.6, stream_costs={"b": 0.9})
+        problem.add_demand("d", "a", 0.99)
+        problem.add_demand("d", "b", 0.99)
+        options = ExtensionOptions(use_reflector_capacities=True, use_arc_capacities=True)
+        expr, sparse = _parity_case(problem, options)
+        assert sparse.num_constraints == expr.num_constraints
+        assert sparse.solve().objective == pytest.approx(expr.solve().objective, abs=1e-9)
+
+    def test_stream_cost_overrides_in_objective(self):
+        problem = OverlayDesignProblem()
+        problem.add_stream("hd")
+        problem.add_stream("sd")
+        problem.add_reflector("r", cost=1.0, fanout=4)
+        problem.add_sink("d")
+        problem.add_stream_edge("hd", "r", 0.01, 1.0)
+        problem.add_stream_edge("sd", "r", 0.01, 1.0)
+        problem.add_delivery_edge("r", "d", 0.05, cost=1.0, stream_costs={"hd": 3.0})
+        problem.add_demand("d", "hd", 0.9)
+        problem.add_demand("d", "sd", 0.9)
+        _, sparse = _parity_case(problem)
+        hd_index = len(sparse.z_keys) + len(sparse.y_keys) + sparse.x_keys.index(
+            ("r", ("d", "hd"))
+        )
+        sd_index = len(sparse.z_keys) + len(sparse.y_keys) + sparse.x_keys.index(
+            ("r", ("d", "sd"))
+        )
+        assert sparse.compiled.c[hd_index] == pytest.approx(3.0)
+        assert sparse.compiled.c[sd_index] == pytest.approx(1.0)
+
+    def test_invalid_problem_rejected(self):
+        with pytest.raises(ValueError):
+            build_sparse_formulation(OverlayDesignProblem())
+
+    def test_infeasible_extraction_raises(self):
+        problem = OverlayDesignProblem()
+        problem.add_stream("s")
+        problem.add_reflector("r", cost=1.0, fanout=1)
+        problem.add_sink("d")
+        problem.add_stream_edge("s", "r", 0.4, 1.0)
+        problem.add_delivery_edge("r", "d", 0.4, 1.0)
+        problem.add_demand("d", "s", success_threshold=0.9999)
+        sparse = build_sparse_formulation(problem)
+        lp_solution = sparse.solve()
+        assert not lp_solution.is_optimal
+        with pytest.raises(ValueError):
+            sparse.fractional_solution(lp_solution)
+
+
+class TestPipelineIntegration:
+    def test_design_overlay_backends_agree_on_lower_bound(self, small_random_problem):
+        sparse_report = design_overlay(
+            small_random_problem, DesignParameters(seed=3, lp_backend="sparse")
+        )
+        expr_report = design_overlay(
+            small_random_problem, DesignParameters(seed=3, lp_backend="expr")
+        )
+        assert sparse_report.lp_lower_bound == pytest.approx(
+            expr_report.lp_lower_bound, abs=1e-9
+        )
+        assert sparse_report.formulation_size == expr_report.formulation_size
+
+    def test_sparse_backend_reports_build_stats(self, tiny_problem):
+        report = design_overlay(tiny_problem, DesignParameters(seed=0))
+        assert report.lp_build_stats is not None
+        assert report.lp_build_stats.backend == "sparse"
+        assert report.lp_build_stats.num_variables == report.formulation_size[0]
+        assert report.lp_build_stats.num_constraints == report.formulation_size[1]
+        assert report.lp_build_stats.num_nonzeros > 0
+
+    def test_expr_backend_has_no_build_stats(self, tiny_problem):
+        report = design_overlay(tiny_problem, DesignParameters(seed=0, lp_backend="expr"))
+        assert report.lp_build_stats is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DesignParameters(lp_backend="magic")
+
+    def test_fractional_lower_bound_backends_agree(self, tiny_problem):
+        sparse_bound = fractional_lower_bound(tiny_problem, lp_backend="sparse")
+        expr_bound = fractional_lower_bound(tiny_problem, lp_backend="expr")
+        assert sparse_bound == pytest.approx(expr_bound, abs=1e-9)
