@@ -1,118 +1,18 @@
 """Experiment C1 -- comparative evaluation against the baseline strategies.
 
-The paper positions the LP-rounding algorithm against simpler designs (greedy
-heuristics, single multicast trees, naive per-sink choices).  This benchmark
-runs all of them on the same Akamai-like flash-crowd workload and reports
-cost, analytic reliability, and simulated post-reconstruction loss -- the
-comparison the paper's Section 7 planned to run on production data.
-
-Expected shape: the LP-based design (with the practical repair pass) meets
-essentially all quality targets at a cost within a small constant of the LP
-lower bound (far below its c log n worst-case bound); the single-tree design
-is the cheapest but misses most strict quality targets because it has no
-redundancy; random assignment is dominated on cost.  The greedy heuristic is
-the strongest baseline on *average* cost -- the paper's contribution is the
-worst-case guarantee, not beating heuristics on every instance -- and the
-table records that honestly.
+Scenario ``c1`` runs the LP-rounding design and the simpler baselines (greedy,
+naive quality-first, single multicast tree, random) on the same Akamai-like
+flash-crowd workload and reports cost, analytic reliability, and simulated
+post-reconstruction loss -- the comparison the paper's Section 7 planned to
+run on production data.  The expected shape (who wins, and roughly how) is
+encoded in the scenario's validate hook.
 """
 
 from __future__ import annotations
 
-from conftest import record_experiment
-
-from repro.analysis import compare_designs, format_table
-from repro.baselines import (
-    greedy_design,
-    naive_quality_first_design,
-    random_design,
-    single_tree_design,
-)
-from repro.core.algorithm import DesignParameters, design_overlay
-from repro.core.rounding import RoundingParameters
-from repro.simulation import SimulationConfig, simulate_solution
-from repro.workloads import AkamaiLikeConfig, FlashCrowdConfig, generate_flash_crowd_scenario
+from conftest import run_and_record
 
 
-def _build_problem():
-    config = FlashCrowdConfig(
-        deployment=AkamaiLikeConfig(
-            num_regions=3, colos_per_region=3, num_isps=3, num_streams=2
-        )
-    )
-    topology, _registry = generate_flash_crowd_scenario(config, rng=0)
-    return topology.to_problem()
-
-
-def _design_all(problem):
-    report = design_overlay(
-        problem,
-        DesignParameters(seed=0, repair_shortfall=True, rounding=RoundingParameters(c=16.0)),
-    )
-    designs = {
-        "spaa03+repair": report.solution,
-        "greedy": greedy_design(problem),
-        "naive-quality-first": naive_quality_first_design(problem),
-        "single-tree": single_tree_design(problem),
-        "random": random_design(problem, rng=0),
-    }
-    return report, designs
-
-
-def test_c1_baseline_comparison(benchmark):
-    problem = _build_problem()
-    report, designs = benchmark.pedantic(_design_all, args=(problem,), rounds=1, iterations=1)
-
-    def simulated_loss(problem_, solution_):
-        sim = simulate_solution(
-            problem_, solution_, SimulationConfig(num_packets=8000, seed=3)
-        )
-        return sim.mean_loss
-
-    rows = compare_designs(
-        problem,
-        designs,
-        lower_bound=report.lp_lower_bound,
-        extra_metrics={"simulated_mean_loss": simulated_loss},
-    )
-    by_name = {row["design"]: row for row in rows}
-
-    # Shape assertions (who wins, and roughly how).
-    spaa = by_name["spaa03+repair"]
-    # The LP-rounding design meets (almost) all quality targets...
-    assert spaa["fraction_meeting_threshold"] >= 0.9
-    # ... at a cost within a small constant of the LP bound, far below the
-    # worst-case c log n guarantee ...
-    assert spaa["cost_ratio"] <= 6.0
-    assert spaa["cost_ratio"] <= 2.0 * report.rounded.multiplier
-    # ... and cheaper than uncoordinated random assignment.
-    assert spaa["total_cost"] <= by_name["random"]["total_cost"] * 1.05
-    # The single-tree (IP-multicast-like) design has no redundancy: it is the
-    # cheapest but misses most of the strict quality targets.
-    assert by_name["single-tree"]["mean_paths_per_demand"] <= 1.0 + 1e-9
-    assert (
-        by_name["single-tree"]["fraction_meeting_threshold"]
-        <= spaa["fraction_meeting_threshold"] - 0.3
-    )
-    assert spaa["simulated_mean_loss"] <= by_name["single-tree"]["simulated_mean_loss"] + 1e-6
-    # The quality-first and greedy heuristics also reach the targets; greedy is
-    # the strongest baseline on cost (no guarantee, as the paper notes).
-    assert by_name["greedy"]["fraction_meeting_threshold"] >= 0.9
-    assert by_name["greedy"]["total_cost"] <= by_name["naive-quality-first"]["total_cost"]
-
-    record_experiment(
-        "C1_baselines",
-        format_table(
-            rows,
-            columns=[
-                "design",
-                "total_cost",
-                "cost_ratio",
-                "mean_success",
-                "fraction_meeting_threshold",
-                "mean_paths_per_demand",
-                "max_fanout_factor",
-                "simulated_mean_loss",
-            ],
-            title="C1: LP-rounding design vs baselines on the flash-crowd workload",
-        ),
-    )
+def test_c1_baseline_comparison():
+    record = run_and_record("c1")
+    assert record.metrics["spaa_fraction_meeting_threshold"] >= 0.9

@@ -1,70 +1,16 @@
 """Experiment F1 -- Figure 1: the three-level overlay network substrate.
 
-The paper's Figure 1 is the tripartite sources -> reflectors -> sinks digraph.
-This benchmark regenerates it synthetically at several deployment sizes,
-checks the structural invariants (strict three-level structure, every demand
-reachable), and measures how fast instances are built and projected into the
-algorithm's input -- the "workload generator" part of the harness.
+Scenario ``f1`` regenerates the tripartite sources -> reflectors -> sinks
+digraph at several deployment sizes, checks the structural invariants inside
+each task (strict three-level structure, every demand reachable), and measures
+instance build throughput.
 """
 
 from __future__ import annotations
 
-import time
-
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.network.topology import NodeRole
-from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
-
-SIZES = {
-    "small": AkamaiLikeConfig(num_regions=2, colos_per_region=2, num_isps=2, num_streams=2),
-    "medium": AkamaiLikeConfig(num_regions=3, colos_per_region=4, num_isps=3, num_streams=3),
-    "large": AkamaiLikeConfig(num_regions=4, colos_per_region=6, num_isps=4, num_streams=4),
-}
+from conftest import run_and_record
 
 
-def _build(config: AkamaiLikeConfig, seed: int = 0):
-    topology, registry = generate_akamai_like_topology(config, rng=seed)
-    problem = topology.to_problem()
-    return topology, registry, problem
-
-
-def test_fig1_structure_and_build_throughput(benchmark):
-    """Build the medium deployment repeatedly (timed) and validate all sizes."""
-    topology, _registry, problem = benchmark(_build, SIZES["medium"])
-
-    # Figure-1 invariants: strictly three levels, links only forward.
-    for link in topology.links():
-        tail_role = topology.node(link.tail).role
-        head_role = topology.node(link.head).role
-        assert (tail_role, head_role) in {
-            (NodeRole.SOURCE, NodeRole.REFLECTOR),
-            (NodeRole.REFLECTOR, NodeRole.SINK),
-        }
-    assert problem.feasibility_report() == []
-
-    rows = []
-    for name, config in SIZES.items():
-        start = time.perf_counter()
-        topo, registry, prob = _build(config)
-        elapsed = time.perf_counter() - start
-        summary = topo.size_summary()
-        rows.append(
-            {
-                "deployment": name,
-                "sources": summary["sources"],
-                "reflectors": summary["reflectors"],
-                "sinks": summary["sinks"],
-                "links": summary["links"],
-                "demands": summary["demands"],
-                "isps": len(registry),
-                "build_seconds": elapsed,
-            }
-        )
-        for demand in prob.demands:
-            assert len(prob.candidate_reflectors(demand)) >= 2
-    record_experiment(
-        "F1_network_model",
-        format_table(rows, title="Figure 1 reproduction: 3-level overlay instances"),
-    )
+def test_fig1_structure_and_build_throughput():
+    record = run_and_record("f1")
+    assert all(row["feasible"] for row in record.rows)

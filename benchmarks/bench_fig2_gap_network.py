@@ -1,84 +1,16 @@
 """Experiment F2 -- Figure 2: the modified-GAP conversion network.
 
-Figure 2 of the paper is the five-level flow network used to turn the rounded
-fractional assignment into a 0/1 solution.  This benchmark builds that network
-from real rounded solutions, verifies its structural invariants (box ordering,
-capacities, pair->box interval membership) and times the construction plus the
-half-integral min-cost-flow extraction.
+Scenario ``f2`` builds the five-level flow network from real rounded
+solutions, verifies its structural invariants inside each task (box ordering,
+capacities, feasible flow) and times the construction plus the half-integral
+min-cost-flow extraction.
 """
 
 from __future__ import annotations
 
-import time
-
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.formulation import build_formulation
-from repro.core.gap import build_gap_network, solve_gap
-from repro.core.rounding import RoundingParameters, round_solution
-from repro.flow import assert_feasible_flow
-from repro.workloads import RandomInstanceConfig, random_problem
-
-SIZES = [
-    ("small", RandomInstanceConfig(num_streams=2, num_reflectors=6, num_sinks=10)),
-    ("medium", RandomInstanceConfig(num_streams=3, num_reflectors=10, num_sinks=25)),
-    ("large", RandomInstanceConfig(num_streams=4, num_reflectors=16, num_sinks=50)),
-]
+from conftest import run_and_record
 
 
-def _rounded_instance(config: RandomInstanceConfig, seed: int = 0):
-    problem = random_problem(config, rng=seed)
-    formulation = build_formulation(problem)
-    fractional = formulation.fractional_solution(formulation.solve()).support()
-    rounded = round_solution(problem, fractional, RoundingParameters(c=64.0, seed=seed))
-    return problem, rounded
-
-
-def test_fig2_gap_network_construction_and_flow(benchmark):
-    problem, rounded = _rounded_instance(SIZES[1][1])
-
-    def build_and_solve():
-        gap = build_gap_network(problem, rounded)
-        return gap, solve_gap(problem, gap)
-
-    gap, result = benchmark(build_and_solve)
-    assert_feasible_flow(gap.network, gap.source, gap.sink)
-    assert result.boxes_served <= result.boxes_total
-
-    # Box invariants: intervals ordered by decreasing weight per demand.
-    per_demand: dict = {}
-    for box in gap.boxes:
-        per_demand.setdefault(box.demand_key, []).append(box)
-    for boxes in per_demand.values():
-        boxes.sort(key=lambda b: b.index)
-        for earlier, later in zip(boxes, boxes[1:]):
-            assert earlier.lower >= later.lower - 1e-9
-
-    rows = []
-    for name, config in SIZES:
-        prob, rnd = _rounded_instance(config)
-        start = time.perf_counter()
-        gap_net = build_gap_network(prob, rnd)
-        built = time.perf_counter() - start
-        start = time.perf_counter()
-        res = solve_gap(prob, gap_net)
-        solved = time.perf_counter() - start
-        rows.append(
-            {
-                "instance": name,
-                "demands": prob.num_demands,
-                "pair_nodes": len(gap_net.pair_edge),
-                "boxes": gap_net.total_demand,
-                "boxes_served": res.boxes_served,
-                "flow_nodes": gap_net.network.num_nodes,
-                "flow_edges": gap_net.network.num_edges,
-                "build_seconds": built,
-                "flow_seconds": solved,
-            }
-        )
-        assert res.boxes_served >= 0.9 * res.boxes_total
-    record_experiment(
-        "F2_gap_network",
-        format_table(rows, title="Figure 2 reproduction: GAP conversion network"),
-    )
+def test_fig2_gap_network_construction_and_flow():
+    record = run_and_record("f2")
+    assert all(row["boxes_served"] >= 0.9 * row["boxes_total"] for row in record.rows)

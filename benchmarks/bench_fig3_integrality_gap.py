@@ -1,52 +1,18 @@
 """Experiment F3 -- Figure 3: the integrality gap under entangled-set constraints.
 
-Reproduces the paper's exact example: a flow network whose edges have the
-drawn capacities plus a joint ("entangled") capacity of 3 on the edge set
-{a->b, p->q}.  The maximum integral flow is 3 while the fractional optimum is
-3.5 -- the reason the Section-6 extensions need Srinivasan--Teo path rounding
-rather than plain flow integrality.
+Scenario ``f3`` reproduces the paper's exact example: a flow network with a
+joint ("entangled") capacity of 3 on the edge set {a->b, p->q}, where the
+maximum integral flow is 3 while the fractional optimum is 3.5 -- the reason
+the Section-6 extensions need Srinivasan--Teo path rounding rather than plain
+flow integrality.  ``tests/test_figure3.py`` pins the same numbers from an
+independent construction, so the benchmark and the tests cannot drift apart.
 """
 
 from __future__ import annotations
 
-from conftest import record_experiment
-
-from repro.analysis import format_table
-
-# Reuse the verified construction from the test suite so the benchmark and the
-# tests can never drift apart.
-import pathlib
-import sys
-
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
-from test_figure3 import ENTANGLED_CAPACITY, _solve_max_flow  # noqa: E402
+from conftest import run_and_record
 
 
-def test_fig3_integrality_gap(benchmark):
-    fractional = benchmark(_solve_max_flow, False)
-    integral = _solve_max_flow(True)
-
-    assert abs(fractional - 3.5) < 1e-6
-    assert abs(integral - 3.0) < 1e-9
-
-    rows = [
-        {
-            "quantity": "fractional max flow",
-            "paper": 3.5,
-            "measured": fractional,
-        },
-        {
-            "quantity": "integral max flow",
-            "paper": 3.0,
-            "measured": integral,
-        },
-        {
-            "quantity": "entangled-set capacity",
-            "paper": 3.0,
-            "measured": ENTANGLED_CAPACITY,
-        },
-    ]
-    record_experiment(
-        "F3_integrality_gap",
-        format_table(rows, title="Figure 3 reproduction: integral 3 vs fractional 3.5"),
-    )
+def test_fig3_integrality_gap():
+    record = run_and_record("f3")
+    assert record.metrics["fractional_max_flow"] > record.metrics["integral_max_flow"] + 0.4

@@ -1,72 +1,19 @@
 """Experiment T1 -- Lemma 4.1: cost within c log n of the LP optimum.
 
 The paper bounds the expected cost after rounding by ``c log n`` times the LP
-optimum (and the GAP stage adds at most a factor 2).  This benchmark measures
-the *actual* cost ratio across instance sizes and seeds and reports how far
-below the analytical bound it stays.
+optimum (and the GAP stage adds at most a factor 2).  The measurement lives in
+the registered scenario ``t1`` (:mod:`repro.analysis.scenarios`); this wrapper
+runs it through the parallel executor and asserts its thresholds.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.analysis.experiments import run_design
-from repro.core.algorithm import DesignParameters
-from repro.core.rounding import RoundingParameters
-from repro.workloads import RandomInstanceConfig, random_problem
-
-SIZES = [
-    (1, 5, 8),
-    (2, 8, 16),
-    (2, 12, 32),
-    (3, 16, 48),
-]
-SEEDS = [0, 1, 2]
+from conftest import run_and_record
 
 
-def _measure_size(size: tuple[int, int, int]) -> dict:
-    streams, reflectors, sinks = size
-    ratios, bounds = [], []
-    for seed in SEEDS:
-        problem = random_problem(
-            RandomInstanceConfig(
-                num_streams=streams, num_reflectors=reflectors, num_sinks=sinks
-            ),
-            rng=seed,
-        )
-        report, row = run_design(
-            problem,
-            DesignParameters(rounding=RoundingParameters(c=8.0, seed=seed)),
-        )
-        ratios.append(row["cost_ratio"])
-        bounds.append(2.0 * report.rounded.multiplier)
-    return {
-        "|S|,|R|,n": f"{streams},{reflectors},{sinks}",
-        "demands": sinks,
-        "mean_cost_ratio": float(np.mean(ratios)),
-        "max_cost_ratio": float(np.max(ratios)),
-        "paper_bound(2 c log n)": float(np.mean(bounds)),
-        "bound_slack": float(np.mean(bounds) / max(np.mean(ratios), 1e-9)),
-    }
-
-
-def test_t1_cost_ratio_vs_lp_bound(benchmark):
-    rows = [benchmark.pedantic(_measure_size, args=(SIZES[1],), rounds=1, iterations=1)]
-    for size in SIZES:
-        if size == SIZES[1]:
-            continue
-        rows.append(_measure_size(size))
-    rows.sort(key=lambda r: r["demands"])
-
-    # Shape check (the paper's claim): measured ratios stay below the bound.
-    for row in rows:
-        assert row["max_cost_ratio"] <= row["paper_bound(2 c log n)"] + 1e-9
-    record_experiment(
-        "T1_cost_ratio",
-        format_table(
-            rows,
-            title="Lemma 4.1 reproduction: cost ratio vs the c log n bound (c = 8)",
-        ),
+def test_t1_cost_ratio_vs_lp_bound():
+    record = run_and_record("t1")
+    # Headline claim: every measured ratio stays below the analytic bound.
+    assert all(
+        row["cost_ratio"] <= row["paper_bound_2clogn"] + 1e-9 for row in record.rows
     )

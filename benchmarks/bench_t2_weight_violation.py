@@ -1,73 +1,17 @@
 """Experiment T2 -- Lemma 4.3: weight constraints survive rounding whp.
 
-With the paper's constants (delta = 1/4, c = 64, i.e. delta^2 c = 4) every
-weight constraint keeps at least a (1 - delta) fraction of its requirement
-with probability at least 1 - 1/n.  This benchmark performs many independent
-rounding draws and reports the distribution of the worst per-demand weight
-fraction, alongside the analytic bound on the violation probability.
+With the paper's constants (delta = 1/4, c = 64) every weight constraint keeps
+at least a (1 - delta) fraction of its requirement with probability >= 1 - 1/n.
+Scenario ``t2`` performs many independent rounding draws per multiplier and
+reports the worst per-demand weight fraction against the analytic union bound.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.concentration import weight_violation_probability
-from repro.core.formulation import build_formulation
-from repro.core.rounding import RoundingParameters, audit_rounding, round_solution
-from repro.workloads import RandomInstanceConfig, random_problem
-
-NUM_DRAWS = 40
+from conftest import run_and_record
 
 
-def _draw_statistics(c: float, delta: float, seed_base: int = 0) -> dict:
-    problem = random_problem(
-        RandomInstanceConfig(num_streams=2, num_reflectors=10, num_sinks=20), rng=1
-    )
-    formulation = build_formulation(problem)
-    fractional = formulation.fractional_solution(formulation.solve()).support()
-    rng = np.random.default_rng(seed_base)
-    params = RoundingParameters(c=c, delta=delta)
-    min_fractions = []
-    violating_draws = 0
-    for _ in range(NUM_DRAWS):
-        rounded = round_solution(problem, fractional, params, rng)
-        audit = audit_rounding(problem, rounded)
-        min_fractions.append(audit.min_weight_fraction)
-        if audit.min_weight_fraction < (1.0 - delta) - 1e-9:
-            violating_draws += 1
-    n = problem.num_demands
-    return {
-        "c": c,
-        "delta": delta,
-        "draws": NUM_DRAWS,
-        "mean_min_weight_fraction": float(np.mean(min_fractions)),
-        "worst_min_weight_fraction": float(np.min(min_fractions)),
-        "fraction_of_draws_violating": violating_draws / NUM_DRAWS,
-        "paper_union_bound(n * p_single)": min(
-            1.0, n * weight_violation_probability(delta, c, n)
-        ),
-    }
-
-
-def test_t2_weight_constraint_violations(benchmark):
-    paper_row = benchmark.pedantic(
-        _draw_statistics, args=(64.0, 0.25), rounds=1, iterations=1
-    )
-    rows = [paper_row]
-    # Smaller multipliers: the guarantee weakens exactly as the bound predicts.
-    for c in (16.0, 4.0):
-        rows.append(_draw_statistics(c, 0.25, seed_base=7))
-
-    # Shape checks: with the paper constants no draw should violate; the
-    # violation frequency must grow as c shrinks.
-    assert rows[0]["fraction_of_draws_violating"] <= rows[0]["paper_union_bound(n * p_single)"] + 0.05
-    assert rows[0]["fraction_of_draws_violating"] <= rows[-1]["fraction_of_draws_violating"] + 1e-9
-    record_experiment(
-        "T2_weight_violation",
-        format_table(
-            rows,
-            title="Lemma 4.3 reproduction: weight retention after randomized rounding",
-        ),
-    )
+def test_t2_weight_constraint_violations():
+    record = run_and_record("t2")
+    paper_row = max(record.rows, key=lambda row: row["c"])
+    assert paper_row["fraction_of_draws_violating"] <= paper_row["paper_union_bound"] + 0.05

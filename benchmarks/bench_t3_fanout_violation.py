@@ -2,69 +2,17 @@
 
 Lemma 4.6: after randomized rounding (c >= 24) every fanout constraint is
 violated by at most a factor 2 whp; the GAP stage doubles that to at most 4 in
-the final integral solution.  This benchmark measures the worst fanout factor
+the final integral solution.  Scenario ``t3`` measures the worst fanout factor
 after each stage over many draws.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.formulation import build_formulation
-from repro.core.gap import gap_round
-from repro.core.rounding import RoundingParameters, audit_rounding, round_solution
-from repro.workloads import RandomInstanceConfig, random_problem
-
-NUM_DRAWS = 25
+from conftest import run_and_record
 
 
-def _fanout_statistics(c: float) -> dict:
-    problem = random_problem(
-        RandomInstanceConfig(
-            num_streams=3, num_reflectors=10, num_sinks=24, fanout_range=(5, 9)
-        ),
-        rng=2,
-    )
-    formulation = build_formulation(problem)
-    fractional = formulation.fractional_solution(formulation.solve()).support()
-    rng = np.random.default_rng(0)
-    params = RoundingParameters(c=c)
-    after_rounding, after_gap = [], []
-    for _ in range(NUM_DRAWS):
-        rounded = round_solution(problem, fractional, params, rng)
-        audit = audit_rounding(problem, rounded)
-        after_rounding.append(audit.max_fanout_factor)
-        result = gap_round(problem, rounded)
-        load: dict = {}
-        for reflector, _key in result.assignments:
-            load[reflector] = load.get(reflector, 0) + 1
-        worst = max(
-            (load[r] / problem.fanout(r) for r in load), default=0.0
-        )
-        after_gap.append(worst)
-    return {
-        "c": c,
-        "draws": NUM_DRAWS,
-        "max_fanout_factor_after_rounding": float(np.max(after_rounding)),
-        "paper_bound_after_rounding": 2.0,
-        "max_fanout_factor_final": float(np.max(after_gap)),
-        "paper_bound_final": 4.0,
-    }
-
-
-def test_t3_fanout_violations(benchmark):
-    paper_row = benchmark.pedantic(_fanout_statistics, args=(64.0,), rounds=1, iterations=1)
-    rows = [paper_row, _fanout_statistics(24.0)]
-
-    for row in rows:
-        assert row["max_fanout_factor_after_rounding"] <= row["paper_bound_after_rounding"] + 1e-9
-        assert row["max_fanout_factor_final"] <= row["paper_bound_final"] + 1e-9
-    record_experiment(
-        "T3_fanout_violation",
-        format_table(
-            rows,
-            title="Lemma 4.6 / Section 5 reproduction: fanout violation factors",
-        ),
-    )
+def test_t3_fanout_violations():
+    record = run_and_record("t3")
+    for row in record.rows:
+        assert row["max_fanout_factor_after_rounding"] <= 2.0 + 1e-9
+        assert row["max_fanout_factor_final"] <= 4.0 + 1e-9

@@ -2,80 +2,15 @@
 
 The end-to-end guarantee: the integral solution delivers at least a quarter of
 each demand's weight, i.e. the failure probability at each sink is at most the
-fourth root of its target.  This benchmark runs the full pipeline (paper
-constants, no repair) on random and Akamai-like instances and reports the
-worst weight fraction and the worst achieved success probability against both
-the target and the fourth-root bound.
+fourth root of its target.  Scenario ``t4`` runs the full pipeline (paper
+constants, no repair) on random and Akamai-like instances.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.algorithm import DesignParameters, design_overlay
-from repro.core.rounding import RoundingParameters
-from repro.workloads import (
-    AkamaiLikeConfig,
-    RandomInstanceConfig,
-    generate_akamai_like_topology,
-    random_problem,
-)
+from conftest import run_and_record
 
 
-def _instances():
-    yield "random-small", random_problem(
-        RandomInstanceConfig(num_streams=2, num_reflectors=8, num_sinks=15), rng=0
-    )
-    yield "random-medium", random_problem(
-        RandomInstanceConfig(num_streams=3, num_reflectors=12, num_sinks=30), rng=1
-    )
-    topology, _ = generate_akamai_like_topology(
-        AkamaiLikeConfig(num_regions=2, colos_per_region=3, num_streams=2), rng=2
-    )
-    yield "akamai-like", topology.to_problem()
-
-
-def _quality_row(name: str, problem) -> dict:
-    params = DesignParameters(
-        rounding=RoundingParameters.paper_defaults(), seed=0, repair_shortfall=False
-    )
-    report = design_overlay(problem, params)
-    solution = report.solution
-    weight_fractions = [solution.weight_satisfaction(d) for d in problem.demands]
-    fourth_root_ok = []
-    for demand in problem.demands:
-        target_failure = 1.0 - demand.success_threshold
-        achieved_failure = solution.failure_probability(demand)
-        fourth_root_ok.append(achieved_failure <= target_failure ** 0.25 + 1e-9)
-    return {
-        "instance": name,
-        "demands": problem.num_demands,
-        "min_weight_fraction": float(np.min(weight_fractions)),
-        "mean_weight_fraction": float(np.mean(weight_fractions)),
-        "paper_bound": 0.25,
-        "fraction_within_4th_root_failure": float(np.mean(fourth_root_ok)),
-        "fraction_fully_meeting_target": float(
-            np.mean([f >= 1.0 - 1e-9 for f in weight_fractions])
-        ),
-    }
-
-
-def test_t4_final_quality_guarantee(benchmark):
-    instances = list(_instances())
-    first_name, first_problem = instances[0]
-    rows = [benchmark.pedantic(_quality_row, args=(first_name, first_problem), rounds=1, iterations=1)]
-    for name, problem in instances[1:]:
-        rows.append(_quality_row(name, problem))
-
-    for row in rows:
-        assert row["min_weight_fraction"] >= row["paper_bound"] - 1e-9
-        assert row["fraction_within_4th_root_failure"] >= 1.0 - 1e-9
-    record_experiment(
-        "T4_final_quality",
-        format_table(
-            rows,
-            title="Section 5 reproduction: delivered weight vs the W/4 guarantee",
-        ),
-    )
+def test_t4_final_quality_guarantee():
+    record = run_and_record("t4")
+    assert all(row["min_weight_fraction"] >= 0.25 - 1e-9 for row in record.rows)

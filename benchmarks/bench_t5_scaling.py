@@ -2,179 +2,17 @@
 
 The paper argues the total running time equals that of solving an LP with
 O(|S| * |R| * |D|) variables and constraints (the rounding and GAP stages are
-cheaper).  This benchmark sweeps the instance size, records the LP size and
-per-stage wall-clock times (matrix assembly and solve reported separately),
-and checks the claimed shape: LP size grows linearly with |S||R||D| and the
-LP solve dominates the pipeline.
-
-It also measures the vectorized sparse LP assembly against the
-expression-tree compatibility path on a large Akamai-like instance
-(``REPRO_T5_SINKS`` sinks, default 500): both must reach the same optimal
-objective, and the sparse path must build the matrices at least 5x faster.
-Set ``REPRO_T5_SINKS`` to a small value (e.g. 40) for a CI smoke run.
+cheaper).  Scenario ``t5`` sweeps the instance size and records the LP size
+and per-stage wall-clock times (matrix assembly and solve reported
+separately); its validate hook checks the claimed shape.
 """
 
 from __future__ import annotations
 
-import os
-import time
-
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.analysis.experiments import run_design
-from repro.core.algorithm import DesignParameters
-from repro.core.formulation import build_formulation, build_sparse_formulation
-from repro.workloads import (
-    AkamaiLikeConfig,
-    RandomInstanceConfig,
-    generate_akamai_like_topology,
-    random_problem,
-)
-
-SIZES = [
-    (1, 5, 10),
-    (2, 8, 20),
-    (2, 12, 40),
-    (3, 16, 60),
-    (3, 20, 90),
-]
-
-#: Sink count of the akamai-like instance used by the sparse-vs-expr
-#: assembly comparison; the 5x speedup assertion only applies at >= 200
-#: sinks (small instances are dominated by constant overheads and noise).
-COMPARISON_SINKS = int(os.environ.get("REPRO_T5_SINKS", "500"))
+from conftest import run_and_record
 
 
-def _measure(size: tuple[int, int, int]) -> dict:
-    streams, reflectors, sinks = size
-    problem = random_problem(
-        RandomInstanceConfig(
-            num_streams=streams,
-            num_reflectors=reflectors,
-            num_sinks=sinks,
-            delivery_edge_density=1.0,
-            stream_edge_density=1.0,
-        ),
-        rng=0,
-    )
-    report, row = run_design(problem, DesignParameters(seed=0, retry_rounding=False))
-    return {
-        "|S|*|R|*n": streams * reflectors * sinks,
-        "lp_variables": row["lp_variables"],
-        "lp_constraints": row["lp_constraints"],
-        "lp_nonzeros": row["lp_nonzeros"],
-        "build_seconds": row["formulate_seconds"],
-        "lp_seconds": row["lp_seconds"],
-        "rounding_seconds": row["rounding_seconds"],
-        "gap_seconds": row["gap_seconds"],
-        "total_seconds": row["elapsed_seconds"],
-    }
-
-
-def test_t5_running_time_scaling(benchmark):
-    rows = [benchmark.pedantic(_measure, args=(SIZES[2],), rounds=1, iterations=1)]
-    for size in SIZES:
-        if size == SIZES[2]:
-            continue
-        rows.append(_measure(size))
-    rows.sort(key=lambda r: r["|S|*|R|*n"])
-
-    # Shape checks: LP size grows with |S||R|n (within a constant factor of it),
-    # and the LP solve is the dominant stage on the largest instance.
+def test_t5_running_time_scaling():
+    record = run_and_record("t5")
+    rows = sorted(record.rows, key=lambda row: row["size_product"])
     assert rows[-1]["lp_variables"] > rows[0]["lp_variables"]
-    ratio_small = rows[0]["lp_variables"] / rows[0]["|S|*|R|*n"]
-    ratio_large = rows[-1]["lp_variables"] / rows[-1]["|S|*|R|*n"]
-    assert 0.05 <= ratio_large <= 3.0 and 0.05 <= ratio_small <= 3.0
-    largest = rows[-1]
-    # Stage times on the sweep instances are tens of milliseconds, so allow a
-    # small noise factor when checking that the LP solve dominates.
-    assert largest["lp_seconds"] >= 0.8 * largest["rounding_seconds"]
-    assert largest["lp_seconds"] >= 0.8 * largest["gap_seconds"]
-    # With the sparse backend, matrix assembly must not dominate the solve.
-    assert largest["build_seconds"] <= largest["lp_seconds"]
-    record_experiment(
-        "T5_scaling",
-        format_table(
-            rows,
-            title="Section 5.1 reproduction: pipeline scaling with |S|*|R|*n "
-            "(build vs solve breakdown)",
-        ),
-    )
-
-
-def _akamai_instance(num_sinks: int):
-    """An Akamai-like instance with ``num_sinks`` sinks (one per colo)."""
-    regions = 5 if num_sinks >= 5 else 1
-    config = AkamaiLikeConfig(
-        num_regions=regions,
-        colos_per_region=max(1, num_sinks // regions),
-        reflectors_per_colo=1,
-        num_streams=3,
-        num_isps=4,
-        num_sources=2,
-        edge_density=0.12,
-    )
-    topology, _registry = generate_akamai_like_topology(config, rng=0)
-    return topology.to_problem()
-
-
-def test_t5_sparse_vs_expr_assembly():
-    """Sparse assembly must match the expression path's LP and beat it >= 5x."""
-    problem = _akamai_instance(COMPARISON_SINKS)
-
-    start = time.perf_counter()
-    sparse = build_sparse_formulation(problem)
-    sparse_build = time.perf_counter() - start
-
-    start = time.perf_counter()
-    expr = build_formulation(problem)
-    expr_build = time.perf_counter() - start
-
-    assert sparse.num_variables == expr.num_variables
-    assert sparse.num_constraints == expr.num_constraints
-
-    start = time.perf_counter()
-    sparse_solution = sparse.solve()
-    sparse_solve = time.perf_counter() - start
-    start = time.perf_counter()
-    expr_solution = expr.solve()
-    expr_solve = time.perf_counter() - start
-
-    assert sparse_solution.is_optimal and expr_solution.is_optimal
-    assert abs(sparse_solution.objective - expr_solution.objective) <= 1e-9
-
-    speedup = expr_build / max(sparse_build, 1e-12)
-    rows = [
-        {
-            "backend": "sparse",
-            "sinks": problem.num_sinks,
-            "demands": problem.num_demands,
-            "lp_variables": sparse.num_variables,
-            "lp_nonzeros": sparse.stats.num_nonzeros,
-            "build_seconds": sparse_build,
-            "solve_seconds": sparse_solve,
-            "objective": sparse_solution.objective,
-        },
-        {
-            "backend": "expr",
-            "sinks": problem.num_sinks,
-            "demands": problem.num_demands,
-            "lp_variables": expr.num_variables,
-            "lp_nonzeros": sum(len(c.expr.coeffs) for c in expr.model.constraints),
-            "build_seconds": expr_build,
-            "solve_seconds": expr_solve,
-            "objective": expr_solution.objective,
-        },
-        {"backend": f"assembly speedup: {speedup:.1f}x"},
-    ]
-    record_experiment(
-        "T5_sparse_vs_expr",
-        format_table(
-            rows,
-            title=f"Sparse vs expression-tree LP assembly "
-            f"({problem.num_sinks}-sink akamai-like instance)",
-        ),
-    )
-    if problem.num_sinks >= 200:
-        assert speedup >= 5.0, f"sparse assembly only {speedup:.1f}x faster"

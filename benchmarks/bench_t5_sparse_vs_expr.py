@@ -1,0 +1,17 @@
+"""Experiment T5 (assembly) -- sparse vs expression-tree LP parity and speedup.
+
+Scenario ``t5_sparse`` measures the vectorized sparse LP assembly against the
+expression-tree compatibility path on a large Akamai-like instance
+(``REPRO_T5_SINKS`` sinks; 500 by default, 40 under ``REPRO_BENCH_SMOKE``):
+both must reach the same optimal objective, and the sparse path must build the
+matrices at least 5x faster at >= 200 sinks.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_t5_sparse_vs_expr_assembly():
+    record = run_and_record("t5_sparse")
+    assert record.metrics["objective_abs_diff"] <= 1e-9

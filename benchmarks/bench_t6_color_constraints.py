@@ -1,97 +1,18 @@
 """Experiment T6 -- Sections 6.4/6.5: color constraints and ISP-outage resilience.
 
-Two claims are exercised:
-
-* the path-rounding used for the color/arc-capacity extensions keeps every
-  constraint within a small constant factor (the paper proves <= 7 on the
-  constraints and <= 14 on the cost);
-* designs produced under color constraints survive single-ISP outages better
-  than unconstrained designs (the operational motivation for the extension).
+Two claims are exercised by scenario ``t6``: the path-rounding used for the
+color/arc-capacity extensions keeps every constraint within a small constant
+factor (the paper proves <= 7 on the constraints and <= 14 on the cost), and
+designs produced under color constraints survive single-ISP outages at least
+as well as unconstrained designs.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.algorithm import DesignParameters, design_overlay
-from repro.core.extensions import color_constrained_parameters, design_overlay_extended
-from repro.network.reliability import demand_success_probability
-from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
+from conftest import run_and_record
 
 
-def _survivor_fraction(problem, solution, victim: str) -> float:
-    survivors = 0
-    for demand in problem.demands:
-        success = demand_success_probability(
-            problem, demand, solution.reflectors_serving(demand), failed_isps={victim}
-        )
-        if success + 1e-12 >= demand.success_threshold:
-            survivors += 1
-    return survivors / problem.num_demands
-
-
-def _run(seed: int) -> dict:
-    topology, registry, problem = _setup(seed)
-    base = DesignParameters(seed=seed, repair_shortfall=True)
-    plain_report = design_overlay(problem, base)
-    colored_report = design_overlay_extended(problem, color_constrained_parameters(base))
-
-    plain = plain_report.solution
-    colored = colored_report.solution
-    path_info = colored_report.path_rounding
-    worst_plain = min(_survivor_fraction(problem, plain, isp) for isp in registry.names())
-    worst_colored = min(
-        _survivor_fraction(problem, colored, isp) for isp in registry.names()
-    )
-    return {
-        "seed": seed,
-        "demands": problem.num_demands,
-        "plain_cost": plain.total_cost(),
-        "colored_cost": colored.total_cost(),
-        "cost_factor_vs_lp": colored.total_cost() / max(colored_report.lp_lower_bound, 1e-9),
-        "paper_cost_factor_bound": 14.0,
-        "entangled_violation_factor": (
-            path_info.violation_factors.get("entangled", 0.0) if path_info else 0.0
-        ),
-        "fanout_violation_factor": (
-            path_info.violation_factors.get("fanout", 0.0) if path_info else 0.0
-        ),
-        "paper_constraint_factor_bound": 7.0,
-        "worst_outage_survivors_plain": worst_plain,
-        "worst_outage_survivors_colored": worst_colored,
-    }
-
-
-def _setup(seed: int):
-    topology, registry = generate_akamai_like_topology(
-        AkamaiLikeConfig(
-            num_regions=2, colos_per_region=3, num_isps=3, num_streams=2, reflectors_per_colo=2
-        ),
-        rng=seed,
-    )
-    return topology, registry, topology.to_problem()
-
-
-def test_t6_color_constraints_and_resilience(benchmark):
-    rows = [benchmark.pedantic(_run, args=(0,), rounds=1, iterations=1)]
-    for seed in (1, 2):
-        rows.append(_run(seed))
-
-    for row in rows:
-        assert row["entangled_violation_factor"] <= row["paper_constraint_factor_bound"] + 1e-9
-        assert row["fanout_violation_factor"] <= row["paper_constraint_factor_bound"] + 1e-9
-        assert row["cost_factor_vs_lp"] <= row["paper_cost_factor_bound"] + 1e-9
-    # Resilience shape: on average the colored design survives outages at least
-    # as well as the plain one.
-    plain_mean = np.mean([row["worst_outage_survivors_plain"] for row in rows])
-    colored_mean = np.mean([row["worst_outage_survivors_colored"] for row in rows])
-    assert colored_mean >= plain_mean - 0.05
-    record_experiment(
-        "T6_color_constraints",
-        format_table(
-            rows,
-            title="Sections 6.4/6.5 reproduction: color constraints and ISP-outage resilience",
-        ),
-    )
+def test_t6_color_constraints_and_resilience():
+    record = run_and_record("t6")
+    for row in record.rows:
+        assert row["cost_factor_vs_lp"] <= 14.0 + 1e-9

@@ -3,71 +3,15 @@
 The rounding analysis rests on the tail bounds
 ``Pr[S <= (1-d)mu] <= exp(-d^2 mu / 2)`` and
 ``Pr[S >= (1+d)mu] <= exp(-d^2 mu / 3)`` for sums of independent [0,1]
-variables.  This benchmark measures empirical tail frequencies for Bernoulli
-and uniform summands and confirms the analytic expressions upper-bound them,
-i.e. that the inequality the proofs rely on actually holds on the kind of
-variables the rounding produces.
+variables.  Scenario ``t7`` measures empirical tail frequencies for Bernoulli
+and uniform summands and confirms the analytic expressions upper-bound them.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import record_experiment
-
-from repro.analysis import format_table
-from repro.core.concentration import (
-    chernoff_lower_tail,
-    chernoff_upper_tail,
-    empirical_tail_frequency,
-)
-
-TRIALS = 20_000
+from conftest import run_and_record
 
 
-def _measure(kind: str, num_vars: int, delta: float, rng: np.random.Generator) -> dict:
-    if kind == "bernoulli(0.3)":
-        samples = rng.binomial(num_vars, 0.3, size=TRIALS).astype(float)
-        mu = 0.3 * num_vars
-    elif kind == "uniform[0,1]":
-        samples = rng.random((TRIALS, num_vars)).sum(axis=1)
-        mu = 0.5 * num_vars
-    else:  # scaled bernoulli, mimicking the 1/(c log n) rounding increments
-        scale = 0.2
-        samples = scale * rng.binomial(num_vars, 0.4, size=TRIALS).astype(float)
-        mu = scale * 0.4 * num_vars
-    lower_emp = empirical_tail_frequency(samples, mu, delta, "lower")
-    upper_emp = empirical_tail_frequency(samples, mu, delta, "upper")
-    return {
-        "summands": kind,
-        "n_vars": num_vars,
-        "delta": delta,
-        "empirical_lower_tail": lower_emp,
-        "bound_lower_tail": chernoff_lower_tail(mu, delta),
-        "empirical_upper_tail": upper_emp,
-        "bound_upper_tail": chernoff_upper_tail(mu, delta),
-    }
-
-
-def test_t7_chernoff_bounds_hold_empirically(benchmark):
-    rng = np.random.default_rng(0)
-    rows = [
-        benchmark.pedantic(
-            _measure, args=("bernoulli(0.3)", 60, 0.25, rng), rounds=1, iterations=1
-        )
-    ]
-    for kind in ("bernoulli(0.3)", "uniform[0,1]", "scaled-bernoulli"):
-        for delta in (0.25, 0.5):
-            if kind == "bernoulli(0.3)" and delta == 0.25:
-                continue
-            rows.append(_measure(kind, 60, delta, rng))
-
-    for row in rows:
-        assert row["empirical_lower_tail"] <= row["bound_lower_tail"] + 0.01
-        assert row["empirical_upper_tail"] <= row["bound_upper_tail"] + 0.01
-    record_experiment(
-        "T7_chernoff",
-        format_table(
-            rows,
-            title="Appendix A reproduction: empirical tails vs Hoeffding-Chernoff bounds",
-        ),
-    )
+def test_t7_chernoff_bounds_hold_empirically():
+    record = run_and_record("t7")
+    assert len(record.rows) == 6

@@ -1,20 +1,33 @@
-"""Shared fixtures and helpers for the benchmark harness.
+"""Shared helpers for the benchmark harness.
 
-Every benchmark prints the rows/series it reproduces (the analogue of the
-paper's tables/figures) and also writes them to ``benchmarks/results/`` so the
-numbers quoted in EXPERIMENTS.md can be regenerated with a single
-``pytest benchmarks/ --benchmark-only`` run.
+Every ``bench_*.py`` file is now a thin pytest wrapper around a registered
+:class:`~repro.analysis.runner.ScenarioSpec` (see
+:mod:`repro.analysis.scenarios`): it runs the scenario through the parallel
+executor, asserts the spec's paper-shape thresholds, and persists both the
+plain-text table and the machine-readable ``BENCH_<ID>.json`` record under
+``benchmarks/results/``.  The same artifacts are produced without pytest by
+``repro bench``.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SMOKE=1`` -- CI-sized seed blocks / draw counts / sizes;
+* ``REPRO_BENCH_JOBS=N|auto`` -- worker processes per scenario (default 1);
+* ``REPRO_BENCH_SEED=N`` -- master seed (default 0);
+* ``REPRO_T5_SINKS=N`` -- instance size of the sparse-vs-expr comparison.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
-import pytest
-
-from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
+from repro.analysis import format_table
+from repro.analysis.runner import BenchRecord, get_scenario, run_scenario
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+JOBS = os.environ.get("REPRO_BENCH_JOBS", "1")
+MASTER_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
 def record_experiment(name: str, text: str) -> None:
@@ -25,11 +38,16 @@ def record_experiment(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-@pytest.fixture(scope="session")
-def akamai_problem():
-    """A mid-sized Akamai-like instance shared by several benchmarks."""
-    topology, registry = generate_akamai_like_topology(
-        AkamaiLikeConfig(num_regions=3, colos_per_region=3, num_isps=3, num_streams=3),
-        rng=0,
+def run_and_record(scenario_id: str) -> BenchRecord:
+    """Run one registered scenario, persist its artifacts, assert thresholds."""
+    spec = get_scenario(scenario_id)
+    record = run_scenario(spec, jobs=JOBS, master_seed=MASTER_SEED, smoke=SMOKE)
+    record.save(RESULTS_DIR / f"BENCH_{record.bench_id}.json")
+    record_experiment(
+        spec.artifact_stem,
+        format_table(record.rows, columns=spec.columns, title=record.title),
     )
-    return topology, registry, topology.to_problem()
+    if spec.validate is not None:
+        failures = spec.validate(record)
+        assert not failures, "; ".join(failures)
+    return record

@@ -7,7 +7,12 @@
 * :mod:`repro.analysis.tables` -- plain-text / CSV table formatting used by
   the benchmark harness and EXPERIMENTS.md;
 * :mod:`repro.analysis.experiments` -- parameter sweeps and seed aggregation
-  shared by the benchmarks and the ``examples/`` scripts.
+  shared by the benchmarks and the ``examples/`` scripts;
+* :mod:`repro.analysis.runner` -- the experiment-orchestration subsystem:
+  scenario registry, multiprocess executor, the versioned ``BenchRecord``
+  result schema and the baseline drift classification CI gates on;
+* :mod:`repro.analysis.scenarios` -- the registered scenario catalogue (one
+  spec per paper table/figure experiment).
 """
 
 from repro.analysis.audit import GuaranteeCheck, SolutionAudit, audit_solution, check_paper_guarantees
@@ -19,19 +24,43 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.tables import format_csv, format_table
 from repro.analysis.experiments import SweepResult, run_seed_sweep, run_size_sweep
+from repro.analysis.runner import (
+    BenchRecord,
+    ComparisonReport,
+    MetricDrift,
+    MetricPolicy,
+    ScenarioSpec,
+    compare_records,
+    execute_tasks,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_ids,
+)
 
 __all__ = [
+    "BenchRecord",
+    "ComparisonReport",
     "GuaranteeCheck",
+    "MetricDrift",
+    "MetricPolicy",
+    "ScenarioSpec",
     "SolutionAudit",
     "SweepResult",
     "audit_solution",
     "check_paper_guarantees",
     "compare_designs",
+    "compare_records",
     "cost_breakdown",
     "cost_ratio",
+    "execute_tasks",
     "format_csv",
     "format_table",
+    "get_scenario",
+    "register_scenario",
     "reliability_metrics",
+    "run_scenario",
     "run_seed_sweep",
     "run_size_sweep",
+    "scenario_ids",
 ]

@@ -1,0 +1,1352 @@
+"""The registered scenario catalogue: every paper experiment as a ScenarioSpec.
+
+Each ``benchmarks/bench_*.py`` experiment is declared here as a
+:class:`~repro.analysis.runner.ScenarioSpec`: a list of picklable task dicts
+(workload family x size x seed block x design parameters), a module-level
+task function that measures one unit, per-metric comparison policies, and a
+``validate`` hook holding the paper-shape thresholds.  The ``repro bench``
+CLI and the pytest wrappers under ``benchmarks/`` both run these specs
+through :func:`repro.analysis.runner.run_scenario`.
+
+Conventions
+-----------
+* All randomness inside a task derives from seeds carried in the task dict,
+  which in turn derive from the scenario's master seed -- a run is therefore
+  reproducible from one integer and independent of ``--jobs``.
+* Row keys ending in ``_seconds`` are wall-clock noise: they are reported but
+  never aggregated into comparable metrics.
+* ``smoke=True`` shrinks seed blocks / draw counts / instance sizes for CI;
+  the committed ``benchmarks/results/baseline.json`` is a smoke baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.experiments import run_design
+from repro.analysis.metrics import compare_designs
+from repro.analysis.runner import (
+    BenchRecord,
+    MetricPolicy,
+    ScenarioSpec,
+    register_scenario,
+)
+from repro.baselines import (
+    greedy_design,
+    naive_quality_first_design,
+    random_design,
+    single_tree_design,
+)
+from repro.core.algorithm import DesignParameters, design_overlay
+from repro.core.concentration import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    empirical_tail_frequency,
+    weight_violation_probability,
+)
+from repro.core.extensions import color_constrained_parameters, design_overlay_extended
+from repro.core.formulation import (
+    ExtensionOptions,
+    build_formulation,
+    build_sparse_formulation,
+)
+from repro.core.gap import build_gap_network, gap_round, solve_gap
+from repro.core.rounding import (
+    RoundingParameters,
+    audit_rounding,
+    round_solution,
+)
+from repro.flow import assert_feasible_flow
+from repro.lp import LinearExpr, LinearProgram, Objective, solve_lp
+from repro.network.reliability import demand_success_probability
+from repro.network.topology import NodeRole
+from repro.simulation import SimulationConfig, simulate_solution
+from repro.workloads import (
+    AkamaiLikeConfig,
+    FlashCrowdConfig,
+    RandomInstanceConfig,
+    generate_akamai_like_topology,
+    generate_flash_crowd_scenario,
+    random_problem,
+)
+from repro.workloads.tiny import build_tiny_problem
+
+
+# ---------------------------------------------------------------------------
+# tiny -- fast full-pipeline scenario (CI smoke, determinism tests)
+# ---------------------------------------------------------------------------
+
+
+def tiny_task(task: dict) -> dict:
+    problem = build_tiny_problem()
+    parameters = DesignParameters(seed=task["seed"], repair_shortfall=True)
+    _, row = run_design(problem, parameters)
+    row["seed"] = task["seed"]
+    return row
+
+
+def tiny_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    count = 2 if smoke else 4
+    return [{"seed": master_seed + k} for k in range(count)]
+
+
+def tiny_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["unserved_demands"] != 0:
+            failures.append(f"seed {row['seed']}: {row['unserved_demands']} unserved demands")
+        if row["min_weight_fraction"] < 1.0 - 1e-9:
+            failures.append(
+                f"seed {row['seed']}: repaired design below full weight "
+                f"({row['min_weight_fraction']:.3f})"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="tiny",
+        title="Full pipeline on the tiny 3-reflector instance (seed sweep)",
+        task_fn=tiny_task,
+        make_tasks=tiny_tasks,
+        policies={
+            "total_cost": MetricPolicy("lower", rel_tol=1e-4),
+            "cost_ratio": MetricPolicy("lower", rel_tol=1e-4),
+            "lp_lower_bound": MetricPolicy("equal", rel_tol=1e-6, abs_tol=1e-6),
+            "min_weight_fraction": MetricPolicy("higher", abs_tol=1e-6),
+            "unserved_demands": MetricPolicy("equal", rel_tol=0.0),
+        },
+        validate=tiny_validate,
+        artifact="TINY_pipeline",
+        description="Smallest end-to-end sweep; used by CI smoke and determinism tests.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T1 -- Lemma 4.1: cost within c log n of the LP optimum
+# ---------------------------------------------------------------------------
+
+T1_SIZES = [(1, 5, 8), (2, 8, 16), (2, 12, 32), (3, 16, 48)]
+
+
+def t1_task(task: dict) -> dict:
+    streams, reflectors, sinks = task["size"]
+    problem = random_problem(
+        RandomInstanceConfig(
+            num_streams=streams, num_reflectors=reflectors, num_sinks=sinks
+        ),
+        rng=task["seed"],
+    )
+    report, row = run_design(
+        problem,
+        DesignParameters(rounding=RoundingParameters(c=task["c"], seed=task["seed"])),
+    )
+    return {
+        "|S|,|R|,n": f"{streams},{reflectors},{sinks}",
+        "demands": sinks,
+        "seed": task["seed"],
+        "cost_ratio": row["cost_ratio"],
+        "paper_bound_2clogn": 2.0 * report.rounded.multiplier,
+        "elapsed_seconds": row["elapsed_seconds"],
+    }
+
+
+def t1_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    sizes = T1_SIZES[:2] if smoke else T1_SIZES
+    seeds = 2 if smoke else 3
+    return [
+        {"size": list(size), "seed": master_seed + k, "c": 8.0}
+        for size in sizes
+        for k in range(seeds)
+    ]
+
+
+def t1_validate(record: BenchRecord) -> list[str]:
+    return [
+        f"{row['|S|,|R|,n']} seed {row['seed']}: cost ratio {row['cost_ratio']:.3f} "
+        f"exceeds the 2 c log n bound {row['paper_bound_2clogn']:.3f}"
+        for row in record.rows
+        if row["cost_ratio"] > row["paper_bound_2clogn"] + 1e-9
+    ]
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t1",
+        title="Lemma 4.1 reproduction: cost ratio vs the c log n bound (c = 8)",
+        task_fn=t1_task,
+        make_tasks=t1_tasks,
+        policies={
+            "cost_ratio": MetricPolicy("lower", rel_tol=0.2),
+            "paper_bound_2clogn": MetricPolicy("equal", rel_tol=1e-6),
+        },
+        validate=t1_validate,
+        artifact="T1_cost_ratio",
+        description="Cost of the rounded design relative to the LP lower bound.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T2 -- Lemma 4.3: weight constraints survive rounding whp
+# ---------------------------------------------------------------------------
+
+
+def t2_task(task: dict) -> dict:
+    c, delta = task["c"], task["delta"]
+    problem = random_problem(
+        RandomInstanceConfig(num_streams=2, num_reflectors=10, num_sinks=20),
+        rng=task["instance_rng"],
+    )
+    formulation = build_formulation(problem)
+    fractional = formulation.fractional_solution(formulation.solve()).support()
+    rng = np.random.default_rng(task["seed"])
+    params = RoundingParameters(c=c, delta=delta)
+    min_fractions = []
+    violating_draws = 0
+    for _ in range(task["draws"]):
+        rounded = round_solution(problem, fractional, params, rng)
+        audit = audit_rounding(problem, rounded)
+        min_fractions.append(audit.min_weight_fraction)
+        if audit.min_weight_fraction < (1.0 - delta) - 1e-9:
+            violating_draws += 1
+    n = problem.num_demands
+    return {
+        "c": c,
+        "delta": delta,
+        "draws": task["draws"],
+        "mean_min_weight_fraction": float(np.mean(min_fractions)),
+        "worst_min_weight_fraction": float(np.min(min_fractions)),
+        "fraction_of_draws_violating": violating_draws / task["draws"],
+        "paper_union_bound": min(1.0, n * weight_violation_probability(delta, c, n)),
+    }
+
+
+def t2_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    draws = 10 if smoke else 40
+    tasks = [
+        {"c": 64.0, "delta": 0.25, "draws": draws, "seed": master_seed, "instance_rng": 1}
+    ]
+    for c in (16.0, 4.0):
+        tasks.append(
+            {"c": c, "delta": 0.25, "draws": draws, "seed": master_seed + 7, "instance_rng": 1}
+        )
+    return tasks
+
+
+def t2_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    rows = sorted(record.rows, key=lambda r: -r["c"])
+    paper = rows[0]
+    if paper["fraction_of_draws_violating"] > paper["paper_union_bound"] + 0.05:
+        failures.append(
+            f"c={paper['c']}: violating fraction {paper['fraction_of_draws_violating']:.3f} "
+            f"exceeds the union bound {paper['paper_union_bound']:.3f}"
+        )
+    if paper["fraction_of_draws_violating"] > rows[-1]["fraction_of_draws_violating"] + 1e-9:
+        failures.append("violation frequency does not grow as c shrinks")
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t2",
+        title="Lemma 4.3 reproduction: weight retention after randomized rounding",
+        task_fn=t2_task,
+        make_tasks=t2_tasks,
+        policies={
+            "mean_min_weight_fraction": MetricPolicy("higher", rel_tol=0.05),
+            "worst_min_weight_fraction": MetricPolicy("higher", rel_tol=0.15),
+            "fraction_of_draws_violating": MetricPolicy("lower", abs_tol=0.1),
+        },
+        validate=t2_validate,
+        artifact="T2_weight_violation",
+        description="Distribution of worst per-demand weight fraction over rounding draws.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T3 -- Lemma 4.6 + Section 5: fanout violations stay constant
+# ---------------------------------------------------------------------------
+
+
+def t3_task(task: dict) -> dict:
+    problem = random_problem(
+        RandomInstanceConfig(
+            num_streams=3, num_reflectors=10, num_sinks=24, fanout_range=(5, 9)
+        ),
+        rng=2,
+    )
+    formulation = build_formulation(problem)
+    fractional = formulation.fractional_solution(formulation.solve()).support()
+    rng = np.random.default_rng(task["seed"])
+    params = RoundingParameters(c=task["c"])
+    after_rounding, after_gap = [], []
+    for _ in range(task["draws"]):
+        rounded = round_solution(problem, fractional, params, rng)
+        audit = audit_rounding(problem, rounded)
+        after_rounding.append(audit.max_fanout_factor)
+        result = gap_round(problem, rounded)
+        load: dict = {}
+        for reflector, _key in result.assignments:
+            load[reflector] = load.get(reflector, 0) + 1
+        worst = max((load[r] / problem.fanout(r) for r in load), default=0.0)
+        after_gap.append(worst)
+    return {
+        "c": task["c"],
+        "draws": task["draws"],
+        "max_fanout_factor_after_rounding": float(np.max(after_rounding)),
+        "paper_bound_after_rounding": 2.0,
+        "max_fanout_factor_final": float(np.max(after_gap)),
+        "paper_bound_final": 4.0,
+    }
+
+
+def t3_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    draws = 8 if smoke else 25
+    return [{"c": c, "draws": draws, "seed": master_seed} for c in (64.0, 24.0)]
+
+
+def t3_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["max_fanout_factor_after_rounding"] > row["paper_bound_after_rounding"] + 1e-9:
+            failures.append(
+                f"c={row['c']}: fanout factor {row['max_fanout_factor_after_rounding']:.3f} "
+                "after rounding exceeds the factor-2 bound"
+            )
+        if row["max_fanout_factor_final"] > row["paper_bound_final"] + 1e-9:
+            failures.append(
+                f"c={row['c']}: final fanout factor {row['max_fanout_factor_final']:.3f} "
+                "exceeds the factor-4 bound"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t3",
+        title="Lemma 4.6 / Section 5 reproduction: fanout violation factors",
+        task_fn=t3_task,
+        make_tasks=t3_tasks,
+        policies={
+            "max_fanout_factor_after_rounding": MetricPolicy("lower", abs_tol=0.25),
+            "max_fanout_factor_final": MetricPolicy("lower", abs_tol=0.5),
+        },
+        validate=t3_validate,
+        artifact="T3_fanout_violation",
+        description="Worst fanout factor after rounding and after the GAP stage.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T4 -- Section 5: final designs deliver >= 1/4 of the demanded weight
+# ---------------------------------------------------------------------------
+
+
+def t4_task(task: dict) -> dict:
+    kind = task["kind"]
+    if kind == "random":
+        problem = random_problem(
+            RandomInstanceConfig(
+                num_streams=task["streams"],
+                num_reflectors=task["reflectors"],
+                num_sinks=task["sinks"],
+            ),
+            rng=task["rng"],
+        )
+    else:
+        topology, _ = generate_akamai_like_topology(
+            AkamaiLikeConfig(num_regions=2, colos_per_region=3, num_streams=2),
+            rng=task["rng"],
+        )
+        problem = topology.to_problem()
+    params = DesignParameters(
+        rounding=RoundingParameters.paper_defaults(),
+        seed=task["seed"],
+        repair_shortfall=False,
+    )
+    report = design_overlay(problem, params)
+    solution = report.solution
+    weight_fractions = [solution.weight_satisfaction(d) for d in problem.demands]
+    fourth_root_ok = []
+    for demand in problem.demands:
+        target_failure = 1.0 - demand.success_threshold
+        achieved_failure = solution.failure_probability(demand)
+        fourth_root_ok.append(achieved_failure <= target_failure**0.25 + 1e-9)
+    return {
+        "instance": task["instance"],
+        "demands": problem.num_demands,
+        "min_weight_fraction": float(np.min(weight_fractions)),
+        "mean_weight_fraction": float(np.mean(weight_fractions)),
+        "paper_bound": 0.25,
+        "fraction_within_4th_root_failure": float(np.mean(fourth_root_ok)),
+        "fraction_fully_meeting_target": float(
+            np.mean([f >= 1.0 - 1e-9 for f in weight_fractions])
+        ),
+    }
+
+
+def t4_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    tasks = [
+        {
+            "instance": "random-small",
+            "kind": "random",
+            "streams": 2,
+            "reflectors": 8,
+            "sinks": 15,
+            "rng": 0,
+            "seed": master_seed,
+        },
+        {
+            "instance": "random-medium",
+            "kind": "random",
+            "streams": 3,
+            "reflectors": 12,
+            "sinks": 30,
+            "rng": 1,
+            "seed": master_seed,
+        },
+        {"instance": "akamai-like", "kind": "akamai", "rng": 2, "seed": master_seed},
+    ]
+    if smoke:
+        return [tasks[0], tasks[2]]
+    return tasks
+
+
+def t4_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["min_weight_fraction"] < row["paper_bound"] - 1e-9:
+            failures.append(
+                f"{row['instance']}: min weight fraction {row['min_weight_fraction']:.3f} "
+                "below the W/4 guarantee"
+            )
+        if row["fraction_within_4th_root_failure"] < 1.0 - 1e-9:
+            failures.append(
+                f"{row['instance']}: fourth-root failure bound violated on "
+                f"{1.0 - row['fraction_within_4th_root_failure']:.1%} of demands"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t4",
+        title="Section 5 reproduction: delivered weight vs the W/4 guarantee",
+        task_fn=t4_task,
+        make_tasks=t4_tasks,
+        policies={
+            "min_weight_fraction": MetricPolicy("higher", abs_tol=0.05),
+            "mean_weight_fraction": MetricPolicy("higher", rel_tol=0.1),
+            "fraction_within_4th_root_failure": MetricPolicy("higher", abs_tol=1e-9),
+        },
+        validate=t4_validate,
+        artifact="T4_final_quality",
+        description="End-to-end quality of the unrepaired paper algorithm.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T5 -- Section 5.1: running time is dominated by the LP
+# ---------------------------------------------------------------------------
+
+T5_SIZES = [(1, 5, 10), (2, 8, 20), (2, 12, 40), (3, 16, 60), (3, 20, 90)]
+
+
+def t5_task(task: dict) -> dict:
+    streams, reflectors, sinks = task["size"]
+    problem = random_problem(
+        RandomInstanceConfig(
+            num_streams=streams,
+            num_reflectors=reflectors,
+            num_sinks=sinks,
+            delivery_edge_density=1.0,
+            stream_edge_density=1.0,
+        ),
+        rng=task["rng"],
+    )
+    _, row = run_design(problem, DesignParameters(seed=task["seed"], retry_rounding=False))
+    return {
+        "size_product": streams * reflectors * sinks,
+        "lp_variables": row["lp_variables"],
+        "lp_constraints": row["lp_constraints"],
+        "lp_nonzeros": row["lp_nonzeros"],
+        "build_seconds": row["formulate_seconds"],
+        "lp_seconds": row["lp_seconds"],
+        "rounding_seconds": row["rounding_seconds"],
+        "gap_seconds": row["gap_seconds"],
+        "total_seconds": row["elapsed_seconds"],
+    }
+
+
+def t5_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    # The sweep sizes are already CI-sized; smoke keeps them so the
+    # stage-dominance checks run on a meaningful largest instance.
+    return [{"size": list(size), "rng": 0, "seed": master_seed} for size in T5_SIZES]
+
+
+def t5_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    rows = sorted(record.rows, key=lambda r: r["size_product"])
+    if rows[-1]["lp_variables"] <= rows[0]["lp_variables"]:
+        failures.append("LP size does not grow with |S||R|n")
+    for row in (rows[0], rows[-1]):
+        ratio = row["lp_variables"] / row["size_product"]
+        if not 0.05 <= ratio <= 3.0:
+            failures.append(
+                f"LP variables not within a constant factor of |S||R|n (ratio {ratio:.3f})"
+            )
+    largest = rows[-1]
+    # Stage times are tens of milliseconds and measured inside (possibly
+    # core-sharing) worker processes, so the dominance checks allow a 2x noise
+    # factor and are skipped entirely in the sub-100ms pure-noise regime.
+    if largest["total_seconds"] >= 0.1:
+        if largest["lp_seconds"] < 0.5 * largest["rounding_seconds"]:
+            failures.append("LP solve does not dominate rounding on the largest instance")
+        if largest["lp_seconds"] < 0.5 * largest["gap_seconds"]:
+            failures.append("LP solve does not dominate the GAP stage on the largest instance")
+        if largest["build_seconds"] > 2.0 * largest["lp_seconds"]:
+            failures.append("sparse matrix assembly dominates the LP solve")
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t5",
+        title="Section 5.1 reproduction: pipeline scaling with |S|*|R|*n "
+        "(build vs solve breakdown)",
+        task_fn=t5_task,
+        make_tasks=t5_tasks,
+        policies={
+            "lp_variables": MetricPolicy("equal", rel_tol=0.0),
+            "lp_constraints": MetricPolicy("equal", rel_tol=0.0),
+            "lp_nonzeros": MetricPolicy("equal", rel_tol=0.0),
+        },
+        validate=t5_validate,
+        artifact="T5_scaling",
+        description="LP size and per-stage wall-clock across a size sweep.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T5_SPARSE -- sparse vs expression-tree LP assembly parity and speedup
+# ---------------------------------------------------------------------------
+
+
+def t5_sparse_task(task: dict) -> list[dict]:
+    num_sinks = task["sinks"]
+    regions = 5 if num_sinks >= 5 else 1
+    config = AkamaiLikeConfig(
+        num_regions=regions,
+        colos_per_region=max(1, num_sinks // regions),
+        reflectors_per_colo=1,
+        num_streams=3,
+        num_isps=4,
+        num_sources=2,
+        edge_density=0.12,
+    )
+    topology, _registry = generate_akamai_like_topology(config, rng=task["rng"])
+    problem = topology.to_problem()
+
+    start = time.perf_counter()
+    sparse = build_sparse_formulation(problem)
+    sparse_build = time.perf_counter() - start
+    start = time.perf_counter()
+    expr = build_formulation(problem)
+    expr_build = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sparse_solution = sparse.solve()
+    sparse_solve = time.perf_counter() - start
+    start = time.perf_counter()
+    expr_solution = expr.solve()
+    expr_solve = time.perf_counter() - start
+
+    speedup = expr_build / max(sparse_build, 1e-12)
+    return [
+        {
+            "backend": "sparse",
+            "sinks": problem.num_sinks,
+            "demands": problem.num_demands,
+            "lp_variables": sparse.num_variables,
+            "lp_constraints": sparse.num_constraints,
+            "lp_nonzeros": sparse.stats.num_nonzeros,
+            "build_seconds": sparse_build,
+            "solve_seconds": sparse_solve,
+            "objective": sparse_solution.objective,
+            "is_optimal": bool(sparse_solution.is_optimal),
+            "assembly_speedup": speedup,
+        },
+        {
+            "backend": "expr",
+            "sinks": problem.num_sinks,
+            "demands": problem.num_demands,
+            "lp_variables": expr.num_variables,
+            "lp_constraints": expr.num_constraints,
+            "lp_nonzeros": sum(len(c.expr.coeffs) for c in expr.model.constraints),
+            "build_seconds": expr_build,
+            "solve_seconds": expr_solve,
+            "objective": expr_solution.objective,
+            "is_optimal": bool(expr_solution.is_optimal),
+        },
+    ]
+
+
+def t5_sparse_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    default_sinks = 40 if smoke else 500
+    sinks = int(os.environ.get("REPRO_T5_SINKS", str(default_sinks)))
+    return [{"sinks": sinks, "rng": 0, "seed": master_seed}]
+
+
+def t5_sparse_metrics(rows: list[dict]) -> dict[str, float]:
+    # NB: assembly_speedup is wall-clock-derived and deliberately NOT a key
+    # metric -- comparing it against a baseline would gate CI on machine noise.
+    by_backend = {row["backend"]: row for row in rows}
+    sparse, expr = by_backend["sparse"], by_backend["expr"]
+    return {
+        "objective_abs_diff": abs(sparse["objective"] - expr["objective"]),
+        "sparse_objective": sparse["objective"],
+    }
+
+
+def t5_sparse_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    by_backend = {row["backend"]: row for row in record.rows}
+    sparse, expr = by_backend["sparse"], by_backend["expr"]
+    if not (sparse["is_optimal"] and expr["is_optimal"]):
+        failures.append("one of the LP backends failed to reach optimality")
+    for key in ("lp_variables", "lp_constraints"):
+        if sparse[key] != expr[key]:
+            failures.append(f"backend {key} mismatch: {sparse[key]} vs {expr[key]}")
+    if abs(sparse["objective"] - expr["objective"]) > 1e-9:
+        failures.append(
+            f"objective parity broken: |{sparse['objective']} - {expr['objective']}| > 1e-9"
+        )
+    if sparse["sinks"] >= 200 and sparse["assembly_speedup"] < 5.0:
+        failures.append(
+            f"sparse assembly only {sparse['assembly_speedup']:.1f}x faster "
+            "(>= 5x required at >= 200 sinks)"
+        )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t5_sparse",
+        title="Sparse vs expression-tree LP assembly (akamai-like instance)",
+        task_fn=t5_sparse_task,
+        make_tasks=t5_sparse_tasks,
+        policies={
+            "sparse_objective": MetricPolicy("equal", rel_tol=1e-6, abs_tol=1e-6),
+            "objective_abs_diff": MetricPolicy("lower", abs_tol=1e-9),
+            "lp_variables": MetricPolicy("equal", rel_tol=0.0),
+            "lp_nonzeros": MetricPolicy("equal", rel_tol=0.0),
+        },
+        derive_metrics=t5_sparse_metrics,
+        validate=t5_sparse_validate,
+        artifact="T5_sparse_vs_expr",
+        description="Assembly parity + speedup of the vectorized sparse LP builder; "
+        "REPRO_T5_SINKS overrides the instance size.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T6 -- Sections 6.4/6.5: color constraints and ISP-outage resilience
+# ---------------------------------------------------------------------------
+
+
+def _survivor_fraction(problem, solution, victim: str) -> float:
+    survivors = 0
+    for demand in problem.demands:
+        success = demand_success_probability(
+            problem, demand, solution.reflectors_serving(demand), failed_isps={victim}
+        )
+        if success + 1e-12 >= demand.success_threshold:
+            survivors += 1
+    return survivors / problem.num_demands
+
+
+def t6_task(task: dict) -> dict:
+    seed = task["seed"]
+    topology, registry = generate_akamai_like_topology(
+        AkamaiLikeConfig(
+            num_regions=2,
+            colos_per_region=3,
+            num_isps=3,
+            num_streams=2,
+            reflectors_per_colo=2,
+        ),
+        rng=task["rng"],
+    )
+    problem = topology.to_problem()
+    base = DesignParameters(seed=seed, repair_shortfall=True)
+    plain_report = design_overlay(problem, base)
+    colored_report = design_overlay_extended(problem, color_constrained_parameters(base))
+
+    plain = plain_report.solution
+    colored = colored_report.solution
+    path_info = colored_report.path_rounding
+    worst_plain = min(_survivor_fraction(problem, plain, isp) for isp in registry.names())
+    worst_colored = min(
+        _survivor_fraction(problem, colored, isp) for isp in registry.names()
+    )
+    return {
+        "seed": seed,
+        "demands": problem.num_demands,
+        "plain_cost": plain.total_cost(),
+        "colored_cost": colored.total_cost(),
+        "cost_factor_vs_lp": colored.total_cost() / max(colored_report.lp_lower_bound, 1e-9),
+        "paper_cost_factor_bound": 14.0,
+        "entangled_violation_factor": (
+            path_info.violation_factors.get("entangled", 0.0) if path_info else 0.0
+        ),
+        "fanout_violation_factor": (
+            path_info.violation_factors.get("fanout", 0.0) if path_info else 0.0
+        ),
+        "paper_constraint_factor_bound": 7.0,
+        "worst_outage_survivors_plain": worst_plain,
+        "worst_outage_survivors_colored": worst_colored,
+    }
+
+
+def t6_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    count = 2 if smoke else 3
+    return [{"seed": master_seed + k, "rng": k} for k in range(count)]
+
+
+def t6_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        for key in ("entangled_violation_factor", "fanout_violation_factor"):
+            if row[key] > row["paper_constraint_factor_bound"] + 1e-9:
+                failures.append(
+                    f"seed {row['seed']}: {key} {row[key]:.3f} exceeds the factor-7 bound"
+                )
+        if row["cost_factor_vs_lp"] > row["paper_cost_factor_bound"] + 1e-9:
+            failures.append(
+                f"seed {row['seed']}: cost factor {row['cost_factor_vs_lp']:.3f} "
+                "exceeds the factor-14 bound"
+            )
+    plain_mean = float(np.mean([row["worst_outage_survivors_plain"] for row in record.rows]))
+    colored_mean = float(
+        np.mean([row["worst_outage_survivors_colored"] for row in record.rows])
+    )
+    if colored_mean < plain_mean - 0.05:
+        failures.append(
+            f"colored designs survive ISP outages worse than plain ones "
+            f"({colored_mean:.3f} vs {plain_mean:.3f})"
+        )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t6",
+        title="Sections 6.4/6.5 reproduction: color constraints and ISP-outage resilience",
+        task_fn=t6_task,
+        make_tasks=t6_tasks,
+        policies={
+            "colored_cost": MetricPolicy("lower", rel_tol=0.1),
+            "cost_factor_vs_lp": MetricPolicy("lower", rel_tol=0.15),
+            "worst_outage_survivors_colored": MetricPolicy("higher", abs_tol=0.1),
+        },
+        validate=t6_validate,
+        artifact="T6_color_constraints",
+        description="Path-rounding violation factors and single-ISP outage survival.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# T7 -- Section 4 / Appendix A: the Hoeffding-Chernoff bound
+# ---------------------------------------------------------------------------
+
+
+def t7_task(task: dict) -> dict:
+    kind, num_vars, delta, trials = task["kind"], task["n_vars"], task["delta"], task["trials"]
+    rng = np.random.default_rng(task["seed"])
+    if kind == "bernoulli(0.3)":
+        samples = rng.binomial(num_vars, 0.3, size=trials).astype(float)
+        mu = 0.3 * num_vars
+    elif kind == "uniform[0,1]":
+        samples = rng.random((trials, num_vars)).sum(axis=1)
+        mu = 0.5 * num_vars
+    else:  # scaled bernoulli, mimicking the 1/(c log n) rounding increments
+        scale = 0.2
+        samples = scale * rng.binomial(num_vars, 0.4, size=trials).astype(float)
+        mu = scale * 0.4 * num_vars
+    return {
+        "summands": kind,
+        "n_vars": num_vars,
+        "delta": delta,
+        "trials": trials,
+        "empirical_lower_tail": empirical_tail_frequency(samples, mu, delta, "lower"),
+        "bound_lower_tail": chernoff_lower_tail(mu, delta),
+        "empirical_upper_tail": empirical_tail_frequency(samples, mu, delta, "upper"),
+        "bound_upper_tail": chernoff_upper_tail(mu, delta),
+    }
+
+
+def t7_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    trials = 4_000 if smoke else 20_000
+    tasks = []
+    for index, kind in enumerate(("bernoulli(0.3)", "uniform[0,1]", "scaled-bernoulli")):
+        for jndex, delta in enumerate((0.25, 0.5)):
+            tasks.append(
+                {
+                    "kind": kind,
+                    "n_vars": 60,
+                    "delta": delta,
+                    "trials": trials,
+                    "seed": master_seed * 1000 + 10 * index + jndex,
+                }
+            )
+    return tasks
+
+
+def t7_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        slack = max(0.01, 3.0 / math.sqrt(row["trials"]))
+        for side in ("lower", "upper"):
+            if row[f"empirical_{side}_tail"] > row[f"bound_{side}_tail"] + slack:
+                failures.append(
+                    f"{row['summands']} delta={row['delta']}: empirical {side} tail "
+                    f"{row[f'empirical_{side}_tail']:.4f} exceeds the Chernoff bound "
+                    f"{row[f'bound_{side}_tail']:.4f}"
+                )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t7",
+        title="Appendix A reproduction: empirical tails vs Hoeffding-Chernoff bounds",
+        task_fn=t7_task,
+        make_tasks=t7_tasks,
+        policies={
+            "empirical_lower_tail": MetricPolicy("lower", abs_tol=0.02),
+            "empirical_upper_tail": MetricPolicy("lower", abs_tol=0.02),
+            "bound_lower_tail": MetricPolicy("equal", rel_tol=1e-9, abs_tol=1e-12),
+            "bound_upper_tail": MetricPolicy("equal", rel_tol=1e-9, abs_tol=1e-12),
+        },
+        validate=t7_validate,
+        artifact="T7_chernoff",
+        description="Empirical tail frequencies for the summand kinds the rounding produces.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# C1 -- comparative evaluation against the baseline strategies
+# ---------------------------------------------------------------------------
+
+
+def c1_task(task: dict) -> list[dict]:
+    config = FlashCrowdConfig(
+        deployment=AkamaiLikeConfig(
+            num_regions=3, colos_per_region=3, num_isps=3, num_streams=2
+        )
+    )
+    topology, _registry = generate_flash_crowd_scenario(config, rng=task["rng"])
+    problem = topology.to_problem()
+    report = design_overlay(
+        problem,
+        DesignParameters(
+            seed=task["seed"], repair_shortfall=True, rounding=RoundingParameters(c=16.0)
+        ),
+    )
+    designs = {
+        "spaa03+repair": report.solution,
+        "greedy": greedy_design(problem),
+        "naive-quality-first": naive_quality_first_design(problem),
+        "single-tree": single_tree_design(problem),
+        "random": random_design(problem, rng=task["seed"]),
+    }
+
+    def simulated_loss(problem_, solution_):
+        sim = simulate_solution(
+            problem_,
+            solution_,
+            SimulationConfig(num_packets=task["packets"], seed=task["sim_seed"]),
+        )
+        return sim.mean_loss
+
+    rows = compare_designs(
+        problem,
+        designs,
+        lower_bound=report.lp_lower_bound,
+        extra_metrics={"simulated_mean_loss": simulated_loss},
+    )
+    for row in rows:
+        row["rounding_multiplier"] = report.rounded.multiplier
+    return rows
+
+
+def c1_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    packets = 2_000 if smoke else 8_000
+    return [{"rng": 0, "seed": master_seed, "sim_seed": master_seed + 3, "packets": packets}]
+
+
+def c1_metrics(rows: list[dict]) -> dict[str, float]:
+    by_name = {row["design"]: row for row in rows}
+    spaa = by_name["spaa03+repair"]
+    return {
+        "spaa_total_cost": spaa["total_cost"],
+        "spaa_cost_ratio": spaa["cost_ratio"],
+        "spaa_fraction_meeting_threshold": spaa["fraction_meeting_threshold"],
+        "spaa_simulated_mean_loss": spaa["simulated_mean_loss"],
+        "greedy_total_cost": by_name["greedy"]["total_cost"],
+        "single_tree_fraction_meeting_threshold": by_name["single-tree"][
+            "fraction_meeting_threshold"
+        ],
+        "random_total_cost": by_name["random"]["total_cost"],
+    }
+
+
+def c1_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    by_name = {row["design"]: row for row in record.rows}
+    spaa = by_name["spaa03+repair"]
+    if spaa["fraction_meeting_threshold"] < 0.9:
+        failures.append("LP-rounding design misses more than 10% of quality targets")
+    if spaa["cost_ratio"] > 6.0:
+        failures.append(f"LP-rounding cost ratio {spaa['cost_ratio']:.2f} above 6")
+    if spaa["cost_ratio"] > 2.0 * spaa["rounding_multiplier"]:
+        failures.append("LP-rounding cost ratio above its own 2 c log n bound")
+    if spaa["total_cost"] > by_name["random"]["total_cost"] * 1.05:
+        failures.append("LP-rounding design costs more than random assignment")
+    single = by_name["single-tree"]
+    if single["mean_paths_per_demand"] > 1.0 + 1e-9:
+        failures.append("single-tree baseline uses more than one path per demand")
+    if single["fraction_meeting_threshold"] > spaa["fraction_meeting_threshold"] - 0.3:
+        failures.append("single-tree baseline unexpectedly meets most quality targets")
+    if spaa["simulated_mean_loss"] > single["simulated_mean_loss"] + 1e-6:
+        failures.append("LP-rounding design has higher simulated loss than single-tree")
+    if by_name["greedy"]["fraction_meeting_threshold"] < 0.9:
+        failures.append("greedy baseline unexpectedly misses quality targets")
+    if by_name["greedy"]["total_cost"] > by_name["naive-quality-first"]["total_cost"]:
+        failures.append("greedy baseline unexpectedly costlier than naive-quality-first")
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="c1",
+        title="C1: LP-rounding design vs baselines on the flash-crowd workload",
+        task_fn=c1_task,
+        make_tasks=c1_tasks,
+        policies={
+            "spaa_total_cost": MetricPolicy("lower", rel_tol=0.1),
+            "spaa_cost_ratio": MetricPolicy("lower", rel_tol=0.1),
+            "spaa_fraction_meeting_threshold": MetricPolicy("higher", abs_tol=0.05),
+            "spaa_simulated_mean_loss": MetricPolicy("lower", abs_tol=0.02),
+            "greedy_total_cost": MetricPolicy("equal", rel_tol=0.05),
+            "random_total_cost": MetricPolicy("equal", rel_tol=0.05),
+        },
+        derive_metrics=c1_metrics,
+        validate=c1_validate,
+        artifact="C1_baselines",
+        columns=[
+            "design",
+            "total_cost",
+            "cost_ratio",
+            "mean_success",
+            "fraction_meeting_threshold",
+            "mean_paths_per_demand",
+            "max_fanout_factor",
+            "simulated_mean_loss",
+        ],
+        description="Cost/reliability comparison against greedy, naive, single-tree, random.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# C2 -- ablations of the design choices called out in DESIGN.md
+# ---------------------------------------------------------------------------
+
+
+def c2_task(task: dict) -> dict:
+    problem = random_problem(
+        RandomInstanceConfig(num_streams=2, num_reflectors=10, num_sinks=24),
+        rng=task["rng"],
+    )
+    ratios, min_weights, unserved, fanouts = [], [], [], []
+    for seed in task["seeds"]:
+        params = DesignParameters(
+            rounding=RoundingParameters(c=task["c"], seed=seed),
+            extensions=ExtensionOptions(drop_cutting_plane=task["drop_cutting_plane"]),
+            keep_degenerate_box=task["keep_degenerate_box"],
+            retry_rounding=False,
+        )
+        report = design_overlay(problem, params)
+        solution = report.solution
+        ratios.append(report.cost_ratio)
+        min_weights.append(min(solution.weight_satisfaction(d) for d in problem.demands))
+        unserved.append(len(solution.unserved_demands()))
+        fanouts.append(solution.max_fanout_factor())
+    return {
+        "variant": task["variant"],
+        "mean_cost_ratio": float(np.mean(ratios)),
+        "min_weight_fraction": float(np.min(min_weights)),
+        "mean_unserved_demands": float(np.mean(unserved)),
+        "max_fanout_factor": float(np.max(fanouts)),
+    }
+
+
+def c2_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    seeds = [master_seed + k for k in range(2 if smoke else 3)]
+    base = {"c": 8.0, "drop_cutting_plane": False, "keep_degenerate_box": True}
+    variants = [
+        ("baseline (c=8)", {}),
+        ("c=2 (cheap, weak guarantee)", {"c": 2.0}),
+        ("c=64 (paper constants)", {"c": 64.0}),
+        ("no cutting plane (4)", {"drop_cutting_plane": True}),
+        ("literal paper box rule", {"keep_degenerate_box": False}),
+    ]
+    return [
+        {"variant": label, "rng": 5, "seeds": seeds, **{**base, **overrides}}
+        for label, overrides in variants
+    ]
+
+
+def c2_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    by_label = {row["variant"]: row for row in record.rows}
+    if (
+        by_label["c=64 (paper constants)"]["mean_cost_ratio"]
+        < by_label["c=2 (cheap, weak guarantee)"]["mean_cost_ratio"] - 1e-9
+    ):
+        failures.append("larger multiplier c unexpectedly cheaper than small c")
+    if (
+        by_label["c=64 (paper constants)"]["min_weight_fraction"]
+        < by_label["c=2 (cheap, weak guarantee)"]["min_weight_fraction"] - 1e-9
+    ):
+        failures.append("larger multiplier c unexpectedly delivers less weight")
+    if (
+        by_label["baseline (c=8)"]["mean_unserved_demands"]
+        > by_label["literal paper box rule"]["mean_unserved_demands"] + 1e-9
+    ):
+        failures.append("degenerate-box handling leaves more demands unserved")
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="c2",
+        title="C2: ablations of multiplier, cutting plane and box rule",
+        task_fn=c2_task,
+        make_tasks=c2_tasks,
+        policies={
+            "mean_cost_ratio": MetricPolicy("lower", rel_tol=0.15),
+            "min_weight_fraction": MetricPolicy("higher", abs_tol=0.1),
+            "mean_unserved_demands": MetricPolicy("lower", abs_tol=0.5),
+        },
+        validate=c2_validate,
+        artifact="C2_ablation",
+        description="Rounding multiplier, cutting-plane and degenerate-box ablations.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# F1 -- Figure 1: the three-level overlay network substrate
+# ---------------------------------------------------------------------------
+
+F1_SIZES = {
+    "small": {"num_regions": 2, "colos_per_region": 2, "num_isps": 2, "num_streams": 2},
+    "medium": {"num_regions": 3, "colos_per_region": 4, "num_isps": 3, "num_streams": 3},
+    "large": {"num_regions": 4, "colos_per_region": 6, "num_isps": 4, "num_streams": 4},
+}
+
+
+def f1_task(task: dict) -> dict:
+    config = AkamaiLikeConfig(**task["config"])
+    start = time.perf_counter()
+    topology, registry = generate_akamai_like_topology(config, rng=task["rng"])
+    problem = topology.to_problem()
+    elapsed = time.perf_counter() - start
+    # Figure-1 invariants: strictly three levels, links only forward.
+    for link in topology.links():
+        tail_role = topology.node(link.tail).role
+        head_role = topology.node(link.head).role
+        if (tail_role, head_role) not in {
+            (NodeRole.SOURCE, NodeRole.REFLECTOR),
+            (NodeRole.REFLECTOR, NodeRole.SINK),
+        }:
+            raise AssertionError(f"non-forward link {link.tail}->{link.head}")
+    feasible = problem.feasibility_report() == []
+    min_candidates = min(
+        len(problem.candidate_reflectors(demand)) for demand in problem.demands
+    )
+    summary = topology.size_summary()
+    return {
+        "deployment": task["deployment"],
+        "sources": summary["sources"],
+        "reflectors": summary["reflectors"],
+        "sinks": summary["sinks"],
+        "links": summary["links"],
+        "demands": summary["demands"],
+        "isps": len(registry),
+        "feasible": feasible,
+        "min_candidate_reflectors": min_candidates,
+        "build_seconds": elapsed,
+    }
+
+
+def f1_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    names = ["small", "medium"] if smoke else ["small", "medium", "large"]
+    return [{"deployment": name, "config": F1_SIZES[name], "rng": 0} for name in names]
+
+
+def f1_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if not row["feasible"]:
+            failures.append(f"{row['deployment']}: infeasible demands in generated topology")
+        if row["min_candidate_reflectors"] < 2:
+            failures.append(
+                f"{row['deployment']}: a demand has fewer than 2 candidate reflectors"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="f1",
+        title="Figure 1 reproduction: 3-level overlay instances",
+        task_fn=f1_task,
+        make_tasks=f1_tasks,
+        policies={
+            "sources": MetricPolicy("equal", rel_tol=0.0),
+            "reflectors": MetricPolicy("equal", rel_tol=0.0),
+            "sinks": MetricPolicy("equal", rel_tol=0.0),
+            "links": MetricPolicy("equal", rel_tol=0.0),
+            "demands": MetricPolicy("equal", rel_tol=0.0),
+        },
+        validate=f1_validate,
+        artifact="F1_network_model",
+        description="Workload-generator structural invariants and build throughput.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# F2 -- Figure 2: the modified-GAP conversion network
+# ---------------------------------------------------------------------------
+
+F2_SIZES = {
+    "small": {"num_streams": 2, "num_reflectors": 6, "num_sinks": 10},
+    "medium": {"num_streams": 3, "num_reflectors": 10, "num_sinks": 25},
+    "large": {"num_streams": 4, "num_reflectors": 16, "num_sinks": 50},
+}
+
+
+def f2_task(task: dict) -> dict:
+    problem = random_problem(RandomInstanceConfig(**task["config"]), rng=task["seed"])
+    formulation = build_formulation(problem)
+    fractional = formulation.fractional_solution(formulation.solve()).support()
+    rounded = round_solution(
+        problem, fractional, RoundingParameters(c=64.0, seed=task["seed"])
+    )
+    start = time.perf_counter()
+    gap = build_gap_network(problem, rounded)
+    built = time.perf_counter() - start
+    start = time.perf_counter()
+    result = solve_gap(problem, gap)
+    solved = time.perf_counter() - start
+    assert_feasible_flow(gap.network, gap.source, gap.sink)
+    # Box invariants: intervals ordered by decreasing weight per demand.
+    per_demand: dict = {}
+    for box in gap.boxes:
+        per_demand.setdefault(box.demand_key, []).append(box)
+    for boxes in per_demand.values():
+        boxes.sort(key=lambda b: b.index)
+        for earlier, later in zip(boxes, boxes[1:]):
+            if earlier.lower < later.lower - 1e-9:
+                raise AssertionError("GAP boxes not ordered by decreasing weight")
+    return {
+        "instance": task["instance"],
+        "demands": problem.num_demands,
+        "pair_nodes": len(gap.pair_edge),
+        "boxes": gap.total_demand,
+        "boxes_served": result.boxes_served,
+        "boxes_total": result.boxes_total,
+        "flow_nodes": gap.network.num_nodes,
+        "flow_edges": gap.network.num_edges,
+        "build_seconds": built,
+        "flow_seconds": solved,
+    }
+
+
+def f2_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    names = ["small", "medium"] if smoke else ["small", "medium", "large"]
+    return [
+        {"instance": name, "config": F2_SIZES[name], "seed": master_seed} for name in names
+    ]
+
+
+def f2_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["boxes_served"] > row["boxes_total"]:
+            failures.append(f"{row['instance']}: served more boxes than exist")
+        if row["boxes_served"] < 0.9 * row["boxes_total"]:
+            failures.append(
+                f"{row['instance']}: GAP serves only "
+                f"{row['boxes_served']}/{row['boxes_total']} boxes"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="f2",
+        title="Figure 2 reproduction: GAP conversion network",
+        task_fn=f2_task,
+        make_tasks=f2_tasks,
+        policies={
+            "pair_nodes": MetricPolicy("equal", rel_tol=0.0),
+            "boxes": MetricPolicy("equal", rel_tol=0.0),
+            "boxes_served": MetricPolicy("higher", abs_tol=1.0),
+            "flow_nodes": MetricPolicy("equal", rel_tol=0.0),
+            "flow_edges": MetricPolicy("equal", rel_tol=0.0),
+        },
+        validate=f2_validate,
+        artifact="F2_gap_network",
+        description="Structure and throughput of the Figure-2 flow conversion network.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# F3 -- Figure 3: the integrality gap under entangled-set constraints
+# ---------------------------------------------------------------------------
+
+F3_EDGES = {
+    ("s", "a"): 2.0,
+    ("s", "p"): 2.0,
+    ("a", "b"): 2.0,
+    ("a", "q"): 1.0,
+    ("p", "q"): 2.0,
+    ("b", "t"): 2.0,
+    ("q", "t"): 2.0,
+}
+F3_ENTANGLED = (("a", "b"), ("p", "q"))
+F3_ENTANGLED_CAPACITY = 3.0
+F3_PATHS = (
+    (("s", "a"), ("a", "b"), ("b", "t")),
+    (("s", "a"), ("a", "q"), ("q", "t")),
+    (("s", "p"), ("p", "q"), ("q", "t")),
+)
+
+
+def _f3_feasible(path_flows: list[float]) -> bool:
+    for edge, capacity in F3_EDGES.items():
+        used = sum(flow for flow, path in zip(path_flows, F3_PATHS) if edge in path)
+        if used > capacity + 1e-9:
+            return False
+    entangled_used = sum(
+        flow
+        for flow, path in zip(path_flows, F3_PATHS)
+        if any(edge in path for edge in F3_ENTANGLED)
+    )
+    return entangled_used <= F3_ENTANGLED_CAPACITY + 1e-9
+
+
+def _f3_max_flow(integral: bool) -> float:
+    if integral:
+        from itertools import product
+
+        best = 0.0
+        for assignment in product(range(4), repeat=len(F3_PATHS)):
+            flows = [float(v) for v in assignment]
+            if _f3_feasible(flows):
+                best = max(best, sum(flows))
+        return best
+    model = LinearProgram(objective_sense=Objective.MAXIMIZE)
+    path_vars = [model.add_variable(f"p{i}") for i in range(len(F3_PATHS))]
+    for edge, capacity in F3_EDGES.items():
+        expr = LinearExpr.sum(
+            path_vars[i] for i, path in enumerate(F3_PATHS) if edge in path
+        )
+        if expr.coeffs:
+            model.add_constraint(expr <= capacity)
+    entangled_expr = LinearExpr.sum(
+        path_vars[i]
+        for i, path in enumerate(F3_PATHS)
+        if any(edge in path for edge in F3_ENTANGLED)
+    )
+    model.add_constraint(entangled_expr <= F3_ENTANGLED_CAPACITY)
+    model.set_objective(LinearExpr.sum(path_vars))
+    solution = solve_lp(model)
+    if not solution.is_optimal:
+        raise AssertionError("Figure-3 LP did not reach optimality")
+    return solution.objective
+
+
+def f3_task(task: dict) -> list[dict]:
+    fractional = _f3_max_flow(integral=False)
+    integral = _f3_max_flow(integral=True)
+    return [
+        {"quantity": "fractional max flow", "paper": 3.5, "measured": fractional},
+        {"quantity": "integral max flow", "paper": 3.0, "measured": integral},
+        {
+            "quantity": "entangled-set capacity",
+            "paper": 3.0,
+            "measured": F3_ENTANGLED_CAPACITY,
+        },
+    ]
+
+
+def f3_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    return [{}]
+
+
+def f3_metrics(rows: list[dict]) -> dict[str, float]:
+    by_quantity = {row["quantity"]: row["measured"] for row in rows}
+    return {
+        "fractional_max_flow": by_quantity["fractional max flow"],
+        "integral_max_flow": by_quantity["integral max flow"],
+    }
+
+
+def f3_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    if abs(record.metrics["fractional_max_flow"] - 3.5) > 1e-6:
+        failures.append(
+            f"fractional max flow {record.metrics['fractional_max_flow']} != 3.5"
+        )
+    if abs(record.metrics["integral_max_flow"] - 3.0) > 1e-9:
+        failures.append(f"integral max flow {record.metrics['integral_max_flow']} != 3.0")
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="f3",
+        title="Figure 3 reproduction: integral 3 vs fractional 3.5",
+        task_fn=f3_task,
+        make_tasks=f3_tasks,
+        policies={
+            "fractional_max_flow": MetricPolicy("equal", rel_tol=1e-6, abs_tol=1e-6),
+            "integral_max_flow": MetricPolicy("equal", rel_tol=1e-9, abs_tol=1e-9),
+        },
+        derive_metrics=f3_metrics,
+        validate=f3_validate,
+        artifact="F3_integrality_gap",
+        description="The entangled-set integrality gap motivating the Section-6 rounding.",
+    )
+)

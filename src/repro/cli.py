@@ -12,15 +12,24 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate --problem instance.json --solution design.json
     python -m repro.cli simulate --problem instance.json --solution design.json \
                                  --packets 20000
+    python -m repro.cli bench    --suite t5 --jobs 4 --out benchmarks/results
+    python -m repro.cli bench    --smoke --jobs auto \
+                                 --compare-to benchmarks/results/baseline.json
 
 Every subcommand prints a human-readable table; files are the JSON documents
-defined in :mod:`repro.core.serialization`.
+defined in :mod:`repro.core.serialization` (problems/solutions) and the
+``BENCH_<ID>.json`` records of :mod:`repro.analysis.runner` (benchmarks).
+
+Exit codes of ``bench``: 0 success; 1 a scenario's paper-shape thresholds
+failed (takes precedence if regressions were also classified); 2 usage or
+incomparable baseline; 3 a classified regression against ``--compare-to``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -168,6 +177,119 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import (
+        compare_records,
+        get_scenario,
+        load_suite,
+        resolve_jobs,
+        run_scenario,
+        save_suite,
+        scenario_ids,
+    )
+
+    known = scenario_ids()
+    if args.list:
+        rows = [
+            {
+                "suite": sid,
+                "artifact": f"BENCH_{get_scenario(sid).bench_id}.json",
+                "description": get_scenario(sid).description or get_scenario(sid).title,
+            }
+            for sid in known
+        ]
+        print(format_table(rows, title="registered benchmark scenarios"))
+        return 0
+
+    if args.suite:
+        requested: list[str] = []
+        for chunk in args.suite:
+            requested.extend(s.strip() for s in chunk.split(",") if s.strip())
+    else:
+        requested = known
+    unknown = [sid for sid in requested if sid not in known]
+    if unknown:
+        print(
+            f"error: unknown suite(s) {', '.join(unknown)}; known: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.compare_to:
+        try:
+            baseline = load_suite(args.compare_to)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot read baseline {args.compare_to}: {error}", file=sys.stderr)
+            return 2
+
+    out_dir = Path(args.out)
+    records = {}
+    failures: list[str] = []
+    for sid in requested:
+        spec = get_scenario(sid)
+        record = run_scenario(
+            spec, jobs=jobs, master_seed=args.master_seed, smoke=args.smoke
+        )
+        records[sid] = record
+        json_path = record.save(out_dir / f"BENCH_{record.bench_id}.json")
+        table = format_table(record.rows, columns=spec.columns, title=record.title)
+        (out_dir / f"{spec.artifact_stem}.txt").write_text(table + "\n")
+        print(f"\n===== {record.bench_id} ({record.elapsed_seconds:.2f}s, jobs={jobs}) =====")
+        print(table)
+        print(f"wrote {json_path}")
+        if not args.no_validate and spec.validate is not None:
+            for failure in spec.validate(record):
+                failures.append(f"{sid}: {failure}")
+
+    if args.baseline_out:
+        path = save_suite(records, args.baseline_out)
+        print(f"\nwrote baseline suite ({len(records)} records) to {path}")
+
+    exit_code = 0
+    if failures:
+        print("\nthreshold failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        exit_code = 1
+
+    if baseline is not None:
+        regressions = 0
+        compared = 0
+        for sid, record in records.items():
+            if sid not in baseline:
+                print(f"\n{sid}: no baseline record; skipping comparison")
+                continue
+            try:
+                report = compare_records(record, baseline[sid])
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            compared += 1
+            interesting = [d for d in report.drifts if d.classification != "neutral"]
+            title = f"{sid}: drift vs {args.compare_to}"
+            if interesting:
+                print("\n" + format_table([d.as_row() for d in interesting], title=title))
+            else:
+                print(f"\n{title}: all metrics neutral")
+            regressions += len(report.regressions)
+        print(
+            f"\ncompared {compared}/{len(records)} records: "
+            f"{regressions} regression(s) classified"
+        )
+        # Threshold failures (exit 1) take precedence over regressions (3):
+        # a broken paper-shape invariant is the more fundamental signal.
+        if regressions and exit_code == 0:
+            exit_code = 3
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +331,47 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--packets", type=int, default=10_000)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(func=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered benchmark scenarios in parallel and emit BENCH_<ID>.json",
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        help="scenario id(s) to run (repeatable / comma-separated; default: all)",
+    )
+    bench.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes per scenario: a number or 'auto' (default: 1)",
+    )
+    bench.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="directory for BENCH_<ID>.json and table artifacts",
+    )
+    bench.add_argument("--master-seed", type=int, default=0)
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized seed blocks / draw counts / instance sizes",
+    )
+    bench.add_argument(
+        "--compare-to",
+        help="baseline suite (or single record) JSON; exit 3 on classified regressions",
+    )
+    bench.add_argument(
+        "--baseline-out",
+        help="also write all produced records as one baseline suite JSON",
+    )
+    bench.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the scenarios' paper-shape threshold checks",
+    )
+    bench.add_argument("--list", action="store_true", help="list registered scenarios")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

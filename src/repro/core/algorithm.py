@@ -34,7 +34,7 @@ from repro.core.formulation import (
 )
 from repro.core.gap import GapResult, gap_round
 from repro.core.lp_solution import FractionalSolution, RoundedSolution
-from repro.core.problem import Demand, OverlayDesignProblem
+from repro.core.problem import OverlayDesignProblem
 from repro.core.rounding import (
     RoundingAudit,
     RoundingParameters,

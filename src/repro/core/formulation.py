@@ -46,7 +46,6 @@ Two builders produce the same relaxation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
 
 import numpy as np
 

@@ -23,8 +23,8 @@ sinks are split into copies).  Here each :class:`Demand` object *is* that
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Hashable, Mapping
 
 from repro.core.weights import (
     edge_weight,

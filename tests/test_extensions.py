@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.algorithm import DesignParameters
 from repro.core.extensions import (
     color_constrained_parameters,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import DesignParameters, design_overlay, design_overlay_extended
@@ -10,7 +9,6 @@ from repro.analysis import audit_solution, check_paper_guarantees, compare_desig
 from repro.baselines import greedy_design, naive_quality_first_design, single_tree_design
 from repro.core.extensions import color_constrained_parameters
 from repro.core.rounding import RoundingParameters
-from repro.network.isp import ISPRegistry
 from repro.network.reliability import solution_reliability_summary
 from repro.simulation import FailureSchedule, SimulationConfig, simulate_solution
 from repro.workloads import (

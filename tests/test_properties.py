@@ -16,7 +16,6 @@ from hypothesis import strategies as st
 from repro.baselines import greedy_design
 from repro.core.formulation import build_formulation
 from repro.core.gap import build_boxes_for_demand
-from repro.core.lp_solution import FractionalSolution
 from repro.core.problem import Demand
 from repro.core.rounding import RoundingParameters, round_solution
 from repro.core.serialization import problem_from_dict, problem_to_dict
