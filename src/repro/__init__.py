@@ -28,9 +28,28 @@ True
 bare approximation algorithm only meets the threshold *with high
 probability*, which on a two-reflector toy instance is not a certainty.)
 
+Every design strategy -- the paper's algorithm, its Section-6 extension and
+all six baselines -- is also reachable through the unified strategy API
+(:mod:`repro.api`): a registry of named designers behind one typed
+request/response boundary.  ``design_overlay`` and the baseline functions are
+thin wrappers over it, so results are identical seed-for-seed:
+
+>>> from repro import DesignRequest, get_designer
+>>> result = get_designer("spaa03").design(
+...     DesignRequest(problem, DesignParameters(seed=7, repair_shortfall=True)))
+>>> result.solution.assignments == report.solution.assignments
+True
+>>> sorted(designer_names())[:3]
+['exact', 'greedy', 'lp-bound']
+
+Many requests fan out over worker processes deterministically via
+``design_batch(requests, jobs=...)``; see ``docs/api.md`` for the registry,
+the pipeline stages and the migration guide.
+
 Package layout
 --------------
 ``repro.core``        the paper's algorithm (LP, rounding, GAP, extensions)
+``repro.api``         unified strategy API: registry, staged pipeline, batch
 ``repro.lp``          LP modeling/solving substrate
 ``repro.flow``        max-flow / min-cost-flow substrate
 ``repro.network``     overlay topology, loss models, exact reliability
@@ -40,6 +59,16 @@ Package layout
 ``repro.analysis``    metrics, audits, experiment helpers
 """
 
+from repro.api import (
+    Designer,
+    DesignPipeline,
+    DesignRequest,
+    DesignResult,
+    design_batch,
+    designer_names,
+    get_designer,
+    register_designer,
+)
 from repro.core.algorithm import (
     DesignParameters,
     DesignReport,
@@ -57,13 +86,17 @@ from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, Strea
 from repro.core.rounding import RoundingParameters
 from repro.core.solution import OverlaySolution
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Demand",
     "DeliveryEdge",
+    "Designer",
     "DesignParameters",
+    "DesignPipeline",
     "DesignReport",
+    "DesignRequest",
+    "DesignResult",
     "ExtensionOptions",
     "OverlayDesignProblem",
     "OverlaySolution",
@@ -71,9 +104,13 @@ __all__ = [
     "StreamEdge",
     "build_formulation",
     "build_sparse_formulation",
+    "design_batch",
     "design_overlay",
     "design_overlay_extended",
+    "designer_names",
     "fractional_lower_bound",
+    "get_designer",
+    "register_designer",
     "repair_weight_shortfalls",
     "__version__",
 ]

@@ -35,12 +35,7 @@ from repro.analysis.runner import (
     ScenarioSpec,
     register_scenario,
 )
-from repro.baselines import (
-    greedy_design,
-    naive_quality_first_design,
-    random_design,
-    single_tree_design,
-)
+from repro.api import DesignRequest, comparison_designers, get_designer
 from repro.core.algorithm import DesignParameters, design_overlay
 from repro.core.concentration import (
     chernoff_lower_tail,
@@ -861,19 +856,27 @@ def c1_task(task: dict) -> list[dict]:
     )
     topology, _registry = generate_flash_crowd_scenario(config, rng=task["rng"])
     problem = topology.to_problem()
-    report = design_overlay(
-        problem,
-        DesignParameters(
-            seed=task["seed"], repair_shortfall=True, rounding=RoundingParameters(c=16.0)
-        ),
+    result = get_designer("spaa03").design(
+        DesignRequest(
+            problem=problem,
+            parameters=DesignParameters(
+                seed=task["seed"],
+                repair_shortfall=True,
+                rounding=RoundingParameters(c=16.0),
+            ),
+        )
     )
-    designs = {
-        "spaa03+repair": report.solution,
-        "greedy": greedy_design(problem),
-        "naive-quality-first": naive_quality_first_design(problem),
-        "single-tree": single_tree_design(problem),
-        "random": random_design(problem, rng=task["seed"]),
-    }
+    report = result.report
+    # Registry-driven comparison: every designer registered with
+    # in_comparisons=True appears automatically; each derives its randomness
+    # from the request seed, so rows stay deterministic.
+    designs = {"spaa03+repair": result.solution}
+    for designer in comparison_designers():
+        designs[designer.name] = designer.design(
+            DesignRequest(
+                problem=problem, parameters=DesignParameters(seed=task["seed"])
+            )
+        ).solution
 
     def simulated_loss(problem_, solution_):
         sim = simulate_solution(
@@ -991,8 +994,12 @@ def c2_task(task: dict) -> dict:
             keep_degenerate_box=task["keep_degenerate_box"],
             retry_rounding=False,
         )
-        report = design_overlay(problem, params)
-        solution = report.solution
+        # Routed through the strategy registry (identical to design_overlay).
+        result = get_designer("spaa03").design(
+            DesignRequest(problem=problem, parameters=params)
+        )
+        report = result.report
+        solution = result.solution
         ratios.append(report.cost_ratio)
         min_weights.append(min(solution.weight_satisfaction(d) for d in problem.demands))
         unserved.append(len(solution.unserved_demands()))

@@ -1,0 +1,317 @@
+"""Typed request/response boundary of the design service.
+
+A :class:`DesignRequest` bundles everything needed to produce one overlay
+design -- the problem instance, the pipeline knobs
+(:class:`~repro.core.algorithm.DesignParameters`), the strategy name resolved
+through the :mod:`repro.api.registry`, and per-strategy ``options`` -- and a
+:class:`DesignResult` is what every strategy returns: the solution, the LP
+lower bound when the strategy computed one, per-stage wall-clock timings, the
+constraint-violation audit, and free-form metadata.
+
+Both types have a versioned JSON encoding (``schema_version`` +
+``kind`` discriminator, extending the document conventions of
+:mod:`repro.core.serialization`), which is what ``repro batch`` reads and
+writes and what :func:`repro.api.design_batch` ships across worker processes.
+``options`` must be JSON-typed for a request to serialize; purely in-memory
+callers may put richer objects (e.g. a ``numpy`` generator under ``"rng"``)
+in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.audit import SolutionAudit
+from repro.core.algorithm import DesignParameters, DesignReport
+from repro.core.formulation import ExtensionOptions
+from repro.core.problem import OverlayDesignProblem
+from repro.core.rounding import RoundingParameters
+from repro.core.serialization import (
+    check_document,
+    problem_from_dict,
+    problem_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.core.solution import OverlaySolution
+
+#: Version written into every request/result document; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+REQUEST_KIND = "design-request"
+RESULT_KIND = "design-result"
+
+
+@dataclass
+class DesignRequest:
+    """One unit of design work addressed to a registered strategy.
+
+    Attributes
+    ----------
+    problem:
+        The instance to design for.
+    parameters:
+        Pipeline knobs; strategies that don't use a knob ignore it (e.g. the
+        greedy baseline only reads the seed).  ``parameters.rounding.seed`` is
+        the canonical per-request seed (see :attr:`seed`).
+    strategy:
+        Registry name resolved via :func:`repro.api.get_designer`.
+    options:
+        Per-strategy keyword options (e.g. ``{"fanout_slack": 2.0}`` for the
+        greedy baseline).  Unknown options raise ``ValueError`` at design time.
+    request_id:
+        Optional caller-supplied correlation id, echoed on the result.
+    """
+
+    problem: OverlayDesignProblem
+    parameters: DesignParameters = field(default_factory=DesignParameters)
+    strategy: str = "spaa03"
+    options: dict = field(default_factory=dict)
+    request_id: str | None = None
+
+    @property
+    def seed(self) -> int | None:
+        """The request's seed (``parameters.rounding.seed``)."""
+        return self.parameters.rounding.seed
+
+
+@dataclass
+class DesignResult:
+    """What every registered strategy returns for a :class:`DesignRequest`.
+
+    Attributes
+    ----------
+    strategy:
+        Registry name of the designer that produced this result.
+    solution:
+        The integral design (empty for bound-only strategies like
+        ``"lp-bound"``).
+    lower_bound:
+        The LP lower bound when the strategy computed one, else ``None``.
+    stage_seconds:
+        Per-stage wall-clock times (pipeline strategies report every stage;
+        one-shot baselines report a single ``"design"`` entry).
+    audit:
+        Constraint-violation audit of ``solution`` (``None`` for bound-only
+        strategies).
+    metadata:
+        Free-form strategy-specific extras (rounding attempts, search nodes,
+        ...).  Only JSON-typed values survive serialization.
+    request_id:
+        Echo of the request's correlation id.
+    report:
+        The full in-memory :class:`~repro.core.algorithm.DesignReport` for
+        pipeline strategies (never serialized; ``None`` after a round-trip).
+    """
+
+    strategy: str
+    solution: OverlaySolution
+    lower_bound: float | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    audit: SolutionAudit | None = None
+    metadata: dict = field(default_factory=dict)
+    request_id: str | None = None
+    report: DesignReport | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def total_cost(self) -> float:
+        return self.solution.total_cost()
+
+    @property
+    def cost_ratio(self) -> float:
+        """Cost over the LP lower bound; ``inf`` when no bound is available."""
+        if self.lower_bound is None or self.lower_bound <= 0:
+            return float("inf") if self.total_cost > 0 else 1.0
+        return self.total_cost / self.lower_bound
+
+    def summary(self) -> dict:
+        """Flat metric dictionary (the ``repro design`` table)."""
+        info = dict(self.solution.summary())
+        info["strategy"] = self.strategy
+        if self.lower_bound is not None:
+            info["lp_lower_bound"] = self.lower_bound
+            info["cost_ratio"] = self.cost_ratio
+        if self.report is not None:
+            info["lp_variables"] = self.report.formulation_size[0]
+            info["lp_constraints"] = self.report.formulation_size[1]
+            info["rounding_attempts"] = self.report.rounding_attempts
+        info["stage_seconds"] = dict(self.stage_seconds)
+        return info
+
+
+# ---------------------------------------------------------------------------
+# JSON (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def parameters_to_dict(parameters: DesignParameters) -> dict[str, Any]:
+    """Encode :class:`DesignParameters` (all knobs, nested dataclasses inline)."""
+    return {
+        "rounding": {
+            "c": parameters.rounding.c,
+            "delta": parameters.rounding.delta,
+            "seed": parameters.rounding.seed,
+        },
+        "extensions": {
+            "use_bandwidth": parameters.extensions.use_bandwidth,
+            "use_reflector_capacities": parameters.extensions.use_reflector_capacities,
+            "use_arc_capacities": parameters.extensions.use_arc_capacities,
+            "use_color_constraints": parameters.extensions.use_color_constraints,
+            "drop_cutting_plane": parameters.extensions.drop_cutting_plane,
+        },
+        "retry_rounding": parameters.retry_rounding,
+        "max_rounding_attempts": parameters.max_rounding_attempts,
+        "keep_degenerate_box": parameters.keep_degenerate_box,
+        "repair_shortfall": parameters.repair_shortfall,
+        "repair_fanout_slack": parameters.repair_fanout_slack,
+        "lp_backend": parameters.lp_backend,
+    }
+
+
+def parameters_from_dict(data: dict[str, Any]) -> DesignParameters:
+    """Decode :class:`DesignParameters` from :func:`parameters_to_dict` output."""
+    rounding = data.get("rounding", {})
+    extensions = data.get("extensions", {})
+    return DesignParameters(
+        rounding=RoundingParameters(
+            c=rounding.get("c", 8.0),
+            delta=rounding.get("delta", 0.25),
+            seed=rounding.get("seed"),
+        ),
+        extensions=ExtensionOptions(
+            use_bandwidth=extensions.get("use_bandwidth", False),
+            use_reflector_capacities=extensions.get("use_reflector_capacities", False),
+            use_arc_capacities=extensions.get("use_arc_capacities", False),
+            use_color_constraints=extensions.get("use_color_constraints", False),
+            drop_cutting_plane=extensions.get("drop_cutting_plane", False),
+        ),
+        retry_rounding=data.get("retry_rounding", True),
+        max_rounding_attempts=data.get("max_rounding_attempts", 20),
+        keep_degenerate_box=data.get("keep_degenerate_box", True),
+        repair_shortfall=data.get("repair_shortfall", False),
+        repair_fanout_slack=data.get("repair_fanout_slack", 4.0),
+        lp_backend=data.get("lp_backend", "sparse"),
+    )
+
+
+def audit_to_dict(audit: SolutionAudit) -> dict[str, Any]:
+    """Encode a :class:`~repro.analysis.audit.SolutionAudit` losslessly."""
+    return {
+        "weight_fraction": [
+            [sink, stream, value]
+            for (sink, stream), value in sorted(audit.weight_fraction.items())
+        ],
+        "fanout_factor": {
+            reflector: value for reflector, value in sorted(audit.fanout_factor.items())
+        },
+        "color_violations": audit.color_violations,
+        "arc_capacity_factor": [
+            [reflector, sink, value]
+            for (reflector, sink), value in sorted(audit.arc_capacity_factor.items())
+        ],
+        "unserved_demands": audit.unserved_demands,
+    }
+
+
+def audit_from_dict(data: dict[str, Any]) -> SolutionAudit:
+    """Decode a :class:`~repro.analysis.audit.SolutionAudit`."""
+    return SolutionAudit(
+        weight_fraction={
+            (sink, stream): value
+            for sink, stream, value in data.get("weight_fraction", [])
+        },
+        fanout_factor=dict(data.get("fanout_factor", {})),
+        color_violations=data.get("color_violations", 0),
+        arc_capacity_factor={
+            (reflector, sink): value
+            for reflector, sink, value in data.get("arc_capacity_factor", [])
+        },
+        unserved_demands=data.get("unserved_demands", 0),
+    )
+
+
+def request_to_dict(request: DesignRequest) -> dict[str, Any]:
+    """Encode a request (problem embedded) as a JSON-compatible document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": REQUEST_KIND,
+        "strategy": request.strategy,
+        "request_id": request.request_id,
+        "parameters": parameters_to_dict(request.parameters),
+        "options": dict(request.options),
+        "problem": problem_to_dict(request.problem),
+    }
+
+
+def request_from_dict(data: dict[str, Any]) -> DesignRequest:
+    """Decode a request document produced by :func:`request_to_dict`."""
+    check_document(
+        data, REQUEST_KIND, version=SCHEMA_VERSION, version_key="schema_version"
+    )
+    return DesignRequest(
+        problem=problem_from_dict(data["problem"]),
+        parameters=parameters_from_dict(data.get("parameters", {})),
+        strategy=data.get("strategy", "spaa03"),
+        options=dict(data.get("options", {})),
+        request_id=data.get("request_id"),
+    )
+
+
+def result_to_dict(result: DesignResult) -> dict[str, Any]:
+    """Encode a result as a JSON-compatible document.
+
+    The in-memory ``report`` is intentionally dropped (it holds the full LP
+    and rounding state); everything else -- including stage timings and every
+    audit field -- round-trips through :func:`result_from_dict`.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": RESULT_KIND,
+        "strategy": result.strategy,
+        "request_id": result.request_id,
+        "lower_bound": result.lower_bound,
+        "stage_seconds": dict(result.stage_seconds),
+        "audit": audit_to_dict(result.audit) if result.audit is not None else None,
+        "metadata": {
+            key: value
+            for key, value in result.metadata.items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        },
+        "solution": solution_to_dict(result.solution),
+    }
+
+
+def result_from_dict(
+    data: dict[str, Any], problem: OverlayDesignProblem
+) -> DesignResult:
+    """Decode a result document against its problem instance."""
+    check_document(
+        data, RESULT_KIND, version=SCHEMA_VERSION, version_key="schema_version"
+    )
+    audit_data = data.get("audit")
+    return DesignResult(
+        strategy=data.get("strategy", "unknown"),
+        solution=solution_from_dict(data["solution"], problem),
+        lower_bound=data.get("lower_bound"),
+        stage_seconds=dict(data.get("stage_seconds", {})),
+        audit=audit_from_dict(audit_data) if audit_data is not None else None,
+        metadata=dict(data.get("metadata", {})),
+        request_id=data.get("request_id"),
+    )
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DesignRequest",
+    "DesignResult",
+    "audit_from_dict",
+    "audit_to_dict",
+    "parameters_from_dict",
+    "parameters_to_dict",
+    "request_from_dict",
+    "request_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+]

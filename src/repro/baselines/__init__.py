@@ -18,6 +18,13 @@ produces the same :class:`~repro.core.solution.OverlaySolution` type:
   redundancy (an IP-multicast-like tree, Section 1.4's alternative);
 * :mod:`repro.baselines.lp_bound` -- the fractional LP optimum, the lower
   bound every cost ratio is measured against.
+
+Every baseline is registered with the unified strategy registry
+(:mod:`repro.api`) under a stable name (``"greedy"``, ``"naive-quality-first"``,
+``"single-tree"``, ``"random"``, ``"exact"``, ``"lp-bound"``); the functions
+exported here are thin compatibility wrappers that delegate to the registered
+designers and return identical results.  New code should prefer
+``repro.api.get_designer(name).design(request)`` -- see ``docs/api.md``.
 """
 
 from repro.baselines.exact import ExactResult, SearchSpaceTooLarge, exact_design

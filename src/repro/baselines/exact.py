@@ -71,7 +71,34 @@ def exact_design(
     :class:`SearchSpaceTooLarge` when the product of per-demand subset counts
     exceeds ``max_search_nodes`` and ``ValueError`` when some demand has no
     feasible subset (within ``max_subset_size`` reflectors).
+
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"exact"`` designer and rebuilds the :class:`ExactResult`
+    from its result -- outputs are identical, see ``docs/api.md``.
     """
+    from repro.api import DesignRequest, get_designer
+
+    request = DesignRequest(
+        problem=problem,
+        options={
+            "max_subset_size": max_subset_size,
+            "max_search_nodes": max_search_nodes,
+        },
+    )
+    result = get_designer("exact").design(request)
+    return ExactResult(
+        solution=result.solution,
+        optimal_cost=result.metadata["optimal_cost"],
+        nodes_explored=result.metadata["nodes_explored"],
+    )
+
+
+def _exact_design_impl(
+    problem: OverlayDesignProblem,
+    max_subset_size: int = 3,
+    max_search_nodes: int = 2_000_000,
+) -> ExactResult:
+    """The actual branch-and-bound search (run by the registered designer)."""
     problem.validate()
     demands = problem.demands
     per_demand_subsets: list[list[tuple[str, ...]]] = []

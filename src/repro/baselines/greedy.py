@@ -32,6 +32,10 @@ def greedy_design(
 ) -> OverlaySolution:
     """Greedy weighted multi-cover design.
 
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"greedy"`` designer (``repro.api.get_designer("greedy")``)
+    and returns its solution -- results are identical, see ``docs/api.md``.
+
     Parameters
     ----------
     problem:
@@ -48,6 +52,17 @@ def greedy_design(
         fanout budget permits; remaining shortfalls are left (and reported by
         the solution audit), exactly as they would be for any other design.
     """
+    from repro.api import DesignRequest, get_designer
+
+    request = DesignRequest(problem=problem, options={"fanout_slack": fanout_slack})
+    return get_designer("greedy").design(request).solution
+
+
+def _greedy_design_impl(
+    problem: OverlayDesignProblem,
+    fanout_slack: float = 1.0,
+) -> OverlaySolution:
+    """The actual greedy algorithm (run by the registered designer)."""
     problem.validate()
 
     built: set[str] = set()

@@ -9,7 +9,6 @@ more algorithm" in their result tables.
 
 from __future__ import annotations
 
-from repro.core.algorithm import fractional_lower_bound
 from repro.core.formulation import ExtensionOptions
 from repro.core.problem import OverlayDesignProblem
 
@@ -17,5 +16,19 @@ from repro.core.problem import OverlayDesignProblem
 def lp_lower_bound(
     problem: OverlayDesignProblem, extensions: ExtensionOptions | None = None
 ) -> float:
-    """Optimal objective of the Section-2 LP relaxation (cost lower bound)."""
-    return fractional_lower_bound(problem, extensions)
+    """Optimal objective of the Section-2 LP relaxation (cost lower bound).
+
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"lp-bound"`` designer and returns its ``lower_bound`` --
+    results are identical, see ``docs/api.md``.
+    """
+    from repro.api import DesignRequest, get_designer
+    from repro.core.algorithm import DesignParameters
+
+    parameters = (
+        DesignParameters(extensions=extensions)
+        if extensions is not None
+        else DesignParameters()
+    )
+    request = DesignRequest(problem=problem, parameters=parameters)
+    return get_designer("lp-bound").design(request).lower_bound

@@ -21,7 +21,23 @@ def naive_quality_first_design(
     problem: OverlayDesignProblem,
     fanout_slack: float = 1.0,
 ) -> OverlaySolution:
-    """Serve each demand from its most reliable reflectors until satisfied."""
+    """Serve each demand from its most reliable reflectors until satisfied.
+
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"naive-quality-first"`` designer and returns its solution --
+    results are identical, see ``docs/api.md``.
+    """
+    from repro.api import DesignRequest, get_designer
+
+    request = DesignRequest(problem=problem, options={"fanout_slack": fanout_slack})
+    return get_designer("naive-quality-first").design(request).solution
+
+
+def _naive_quality_first_design_impl(
+    problem: OverlayDesignProblem,
+    fanout_slack: float = 1.0,
+) -> OverlaySolution:
+    """The actual quality-first algorithm (run by the registered designer)."""
     problem.validate()
 
     assignments: dict[tuple[str, str], list[str]] = {}

@@ -23,7 +23,27 @@ def random_design(
     rng: np.random.Generator | int | None = None,
     fanout_slack: float = 1.0,
 ) -> OverlaySolution:
-    """Serve each demand from random candidate reflectors until satisfied."""
+    """Serve each demand from random candidate reflectors until satisfied.
+
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"random"`` designer and returns its solution -- results are
+    identical seed-for-seed, see ``docs/api.md``.  (A generator passed as
+    ``rng`` is forwarded in-memory; such a request is not JSON-serializable.)
+    """
+    from repro.api import DesignRequest, get_designer
+
+    request = DesignRequest(
+        problem=problem, options={"rng": rng, "fanout_slack": fanout_slack}
+    )
+    return get_designer("random").design(request).solution
+
+
+def _random_design_impl(
+    problem: OverlayDesignProblem,
+    rng: np.random.Generator | int | None = None,
+    fanout_slack: float = 1.0,
+) -> OverlaySolution:
+    """The actual random-assignment algorithm (run by the registered designer)."""
     problem.validate()
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)

@@ -28,7 +28,26 @@ def single_tree_design(
 
     Reflectors are preferred by reliability (or by cost when ``prefer_cheap``)
     and shared across the demands of a stream so the "tree" stays narrow.
+
+    Compatibility wrapper over the unified strategy API: delegates to the
+    registered ``"single-tree"`` designer and returns its solution -- results
+    are identical, see ``docs/api.md``.
     """
+    from repro.api import DesignRequest, get_designer
+
+    request = DesignRequest(
+        problem=problem,
+        options={"fanout_slack": fanout_slack, "prefer_cheap": prefer_cheap},
+    )
+    return get_designer("single-tree").design(request).solution
+
+
+def _single_tree_design_impl(
+    problem: OverlayDesignProblem,
+    fanout_slack: float = 1.0,
+    prefer_cheap: bool = False,
+) -> OverlaySolution:
+    """The actual single-tree algorithm (run by the registered designer)."""
     problem.validate()
 
     assignments: dict[tuple[str, str], list[str]] = {}

@@ -7,8 +7,12 @@ the overlay, audit it, and optionally replay it through the packet simulator.
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli generate --workload akamai --seed 0 --out instance.json
+    python -m repro.cli design   --list-strategies
     python -m repro.cli design   --problem instance.json --seed 7 --repair \
-                                 --out design.json
+                                 --strategy spaa03 --out design.json
+    python -m repro.cli compare  --problem instance.json --seed 7
+    python -m repro.cli batch    --requests requests.jsonl --jobs 4 \
+                                 --out results.jsonl
     python -m repro.cli evaluate --problem instance.json --solution design.json
     python -m repro.cli simulate --problem instance.json --solution design.json \
                                  --packets 20000
@@ -16,8 +20,14 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench    --smoke --jobs auto \
                                  --compare-to benchmarks/results/baseline.json
 
+``design``/``compare`` resolve strategies through the :mod:`repro.api`
+registry (``--strategy``), ``compare`` iterates every registered comparison
+baseline, and ``batch`` fans a JSON-lines file of design-request documents
+out over worker processes (:func:`repro.api.design_batch`).
+
 Every subcommand prints a human-readable table; files are the JSON documents
-defined in :mod:`repro.core.serialization` (problems/solutions) and the
+defined in :mod:`repro.core.serialization` (problems/solutions),
+the request/result documents of :mod:`repro.api.types` (batch), and the
 ``BENCH_<ID>.json`` records of :mod:`repro.analysis.runner` (benchmarks).
 
 Exit codes of ``bench``: 0 success; 1 a scenario's paper-shape thresholds
@@ -35,14 +45,17 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis import audit_solution, compare_designs, format_table
-from repro.baselines import (
-    greedy_design,
-    naive_quality_first_design,
-    random_design,
-    single_tree_design,
+from repro.api import (
+    DesignRequest,
+    comparison_designers,
+    design_batch,
+    dump_results_jsonl,
+    get_designer,
+    load_requests_jsonl,
+    registered_designers,
 )
-from repro.core.algorithm import DesignParameters, design_overlay
-from repro.core.extensions import color_constrained_parameters, design_overlay_extended
+from repro.core.algorithm import DesignParameters
+from repro.core.extensions import color_constrained_parameters
 from repro.core.rounding import RoundingParameters
 from repro.core.serialization import (
     dump_problem,
@@ -75,7 +88,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_strategies() -> int:
+    rows = [
+        {
+            "strategy": designer.name,
+            "baseline": designer.baseline,
+            "in_comparisons": designer.in_comparisons,
+            "description": designer.description,
+        }
+        for designer in registered_designers()
+    ]
+    print(format_table(rows, title="registered design strategies"))
+    return 0
+
+
 def _cmd_design(args: argparse.Namespace) -> int:
+    if args.list_strategies:
+        return _list_strategies()
+    if not args.problem:
+        print("error: --problem is required (unless --list-strategies)", file=sys.stderr)
+        return 2
     problem = load_problem(args.problem)
     issues = problem.feasibility_report()
     if issues:
@@ -87,25 +119,62 @@ def _cmd_design(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 2
+    strategy = args.strategy
+    if args.isp_diversity and strategy == "spaa03":
+        strategy = "spaa03-extended"
+    try:
+        designer = get_designer(strategy)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    # The baselines only read the request seed; accepting pipeline-only flags
+    # for them would silently produce a design without the requested
+    # constraints.
+    pipeline_flags = [
+        flag
+        for flag, given in (
+            ("--repair", args.repair),
+            ("--isp-diversity", args.isp_diversity),
+            ("--multiplier", args.multiplier is not None),
+        )
+        if given
+    ]
+    if designer.baseline and pipeline_flags:
+        print(
+            f"error: strategy {strategy!r} ignores {', '.join(pipeline_flags)} "
+            "(pipeline-only flags); drop them or use a pipeline strategy",
+            file=sys.stderr,
+        )
+        return 2
     parameters = DesignParameters(
-        rounding=RoundingParameters(c=args.multiplier, seed=args.seed),
+        rounding=RoundingParameters(
+            c=args.multiplier if args.multiplier is not None else 8.0, seed=args.seed
+        ),
         repair_shortfall=args.repair,
         seed=args.seed,
     )
+    if args.isp_diversity:
+        parameters = color_constrained_parameters(parameters)
+    if args.out and not designer.produces_solution:
+        print(
+            f"error: strategy {strategy!r} produces no integral design "
+            "(bound only); drop --out to print its summary",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        if args.isp_diversity:
-            report = design_overlay_extended(problem, color_constrained_parameters(parameters))
-        else:
-            report = design_overlay(problem, parameters)
+        result = designer.design(
+            DesignRequest(problem=problem, parameters=parameters, strategy=strategy)
+        )
     except ValueError as error:
         # Typically: the LP (with the requested extensions) is infeasible, e.g.
         # ISP-diversity constraints on an instance without enough distinct ISPs.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    solution = report.solution
+    solution = result.solution
     if args.out:
         dump_solution(solution, args.out)
-    summary = report.summary()
+    summary = result.summary()
     rows = [{"metric": key, "value": value} for key, value in summary.items() if key != "stage_seconds"]
     print(format_table(rows, title=f"design of {problem.name}"))
     if args.out:
@@ -124,22 +193,48 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    report = design_overlay(
-        problem,
-        DesignParameters(
-            rounding=RoundingParameters(c=args.multiplier, seed=args.seed),
-            repair_shortfall=True,
-            seed=args.seed,
-        ),
+    try:
+        reference = get_designer(args.strategy)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if not reference.produces_solution:
+        print(
+            f"error: strategy {args.strategy!r} produces no integral design "
+            "(bound only); pick a solution-producing reference",
+            file=sys.stderr,
+        )
+        return 2
+    result = reference.design(
+        DesignRequest(
+            problem=problem,
+            parameters=DesignParameters(
+                rounding=RoundingParameters(c=args.multiplier, seed=args.seed),
+                repair_shortfall=True,
+                seed=args.seed,
+            ),
+        )
     )
-    designs = {
-        "spaa03+repair": report.solution,
-        "greedy": greedy_design(problem),
-        "naive-quality-first": naive_quality_first_design(problem),
-        "single-tree": single_tree_design(problem),
-        "random": random_design(problem, rng=args.seed),
-    }
-    rows = compare_designs(problem, designs, lower_bound=report.lp_lower_bound)
+    # Only the pipeline strategies honor repair_shortfall; labeling a baseline
+    # reference "+repair" would be a lie.
+    label = reference.name if reference.baseline else f"{reference.name}+repair"
+    # Every registered comparison designer appears automatically; each pulls
+    # its seed from the request parameters, so runs are reproducible.
+    designs = {label: result.solution}
+    for designer in comparison_designers():
+        if designer.name == reference.name:
+            continue
+        designs[designer.name] = designer.design(
+            DesignRequest(problem=problem, parameters=DesignParameters(seed=args.seed))
+        ).solution
+    # Baseline references don't solve the LP; fetch the bound separately so
+    # the cost_ratio column is present for any reference strategy.
+    lower_bound = result.lower_bound
+    if lower_bound is None:
+        lower_bound = (
+            get_designer("lp-bound").design(DesignRequest(problem=problem)).lower_bound
+        )
+    rows = compare_designs(problem, designs, lower_bound=lower_bound)
     print(
         format_table(
             rows,
@@ -174,6 +269,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ]
     print(format_table(rows, title=f"packet simulation ({args.packets} packets)"))
     print(f"\nmean loss {sim.mean_loss:.4f}; {sim.fraction_meeting_threshold:.0%} of demands within budget")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import resolve_jobs
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        requests = load_requests_jsonl(args.requests)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read requests: {error}", file=sys.stderr)
+        return 2
+    if not requests:
+        print(f"error: no requests in {args.requests}", file=sys.stderr)
+        return 2
+    results = design_batch(requests, jobs=jobs)
+    rows = [
+        {
+            "request": request.request_id or f"#{index}",
+            "strategy": result.strategy,
+            "total_cost": result.total_cost,
+            "lower_bound": result.lower_bound,
+            "unserved_demands": (
+                result.audit.unserved_demands if result.audit is not None else None
+            ),
+        }
+        for index, (request, result) in enumerate(zip(requests, results))
+    ]
+    print(format_table(rows, title=f"batch of {len(results)} designs (jobs={jobs})"))
+    if args.out:
+        path = dump_results_jsonl(results, args.out)
+        print(f"\nwrote {len(results)} result documents to {path}")
     return 0
 
 
@@ -304,13 +435,28 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     design = sub.add_parser("design", help="design an overlay for a problem JSON")
-    design.add_argument("--problem", required=True)
+    design.add_argument("--problem", help="problem JSON path (required unless --list-strategies)")
     design.add_argument("--out", help="output solution JSON path")
     design.add_argument("--seed", type=int, default=0)
-    design.add_argument("--multiplier", type=float, default=8.0, help="rounding multiplier c")
+    design.add_argument(
+        "--multiplier",
+        type=float,
+        default=None,
+        help="rounding multiplier c (pipeline strategies only; default 8.0)",
+    )
     design.add_argument("--repair", action="store_true", help="greedy repair of weight shortfalls")
     design.add_argument(
         "--isp-diversity", action="store_true", help="enable the Section-6.4 color constraints"
+    )
+    design.add_argument(
+        "--strategy",
+        default="spaa03",
+        help="registered design strategy (see --list-strategies; default: spaa03)",
+    )
+    design.add_argument(
+        "--list-strategies",
+        action="store_true",
+        help="list the registered design strategies and exit",
     )
     design.set_defaults(func=_cmd_design)
 
@@ -319,11 +465,31 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--solution", required=True)
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    compare = sub.add_parser("compare", help="compare the algorithm against the baselines")
+    compare = sub.add_parser(
+        "compare", help="compare a strategy against every registered comparison baseline"
+    )
     compare.add_argument("--problem", required=True)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--multiplier", type=float, default=8.0)
+    compare.add_argument(
+        "--strategy",
+        default="spaa03",
+        help="reference strategy run with repair enabled (default: spaa03)",
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON-lines file of design requests through the parallel executor",
+    )
+    batch.add_argument(
+        "--requests", required=True, help="JSONL file, one design-request document per line"
+    )
+    batch.add_argument(
+        "--jobs", default="1", help="worker processes: a number or 'auto' (default: 1)"
+    )
+    batch.add_argument("--out", help="output results JSONL path")
+    batch.set_defaults(func=_cmd_batch)
 
     simulate = sub.add_parser("simulate", help="packet-level replay of a solution")
     simulate.add_argument("--problem", required=True)

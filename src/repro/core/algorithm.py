@@ -16,14 +16,23 @@ paper exactly:
 
 Every stage's intermediate result and wall-clock time is recorded in the
 returned :class:`DesignReport`, which is what the benchmark harness consumes.
+
+Since the :mod:`repro.api` redesign the stages themselves live in
+:mod:`repro.api.pipeline` as swappable stage objects; :func:`design_overlay`
+is a thin compatibility wrapper over ``DesignPipeline.standard()`` (the
+``"spaa03"`` entry of the strategy registry) and produces bit-identical
+results for a fixed seed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.audit import SolutionAudit
 
 from repro.core.formulation import (
     ExtensionOptions,
@@ -32,16 +41,10 @@ from repro.core.formulation import (
     build_formulation,
     build_sparse_formulation,
 )
-from repro.core.gap import GapResult, gap_round
+from repro.core.gap import GapResult
 from repro.core.lp_solution import FractionalSolution, RoundedSolution
 from repro.core.problem import OverlayDesignProblem
-from repro.core.rounding import (
-    RoundingAudit,
-    RoundingParameters,
-    audit_rounding,
-    round_solution,
-    round_solution_with_retries,
-)
+from repro.core.rounding import RoundingAudit, RoundingParameters
 from repro.core.solution import OverlaySolution
 from repro.lp import LPBuildStats
 
@@ -126,13 +129,17 @@ class DesignReport:
         (num variables, num constraints) of the LP.
     stage_seconds:
         Wall-clock time per stage ("formulate", "solve_lp", "rounding", "gap",
-        "repair").
+        "repair", and -- since the pipeline gained its audit stage -- "audit").
     rounding_attempts:
         Number of rounding draws used.
     lp_build_stats:
         Matrix-assembly report (:class:`repro.lp.LPBuildStats`) when the
         sparse LP backend built the formulation; ``None`` on the
         expression-tree path.
+    solution_audit:
+        Constraint-violation audit of the final solution, produced by the
+        pipeline's audit stage (:class:`repro.analysis.audit.SolutionAudit`).
+        Consumers should reuse it instead of re-running ``audit_solution``.
     lp_lower_bound:
         Alias for ``fractional.objective``.
     """
@@ -146,6 +153,7 @@ class DesignReport:
     stage_seconds: dict[str, float]
     rounding_attempts: int
     lp_build_stats: "LPBuildStats | None" = None
+    solution_audit: "SolutionAudit | None" = None
 
     @property
     def lp_lower_bound(self) -> float:
@@ -186,77 +194,18 @@ def design_overlay(
     if the instance is structurally invalid or its LP relaxation is infeasible
     (e.g. some demand cannot reach enough reflectors -- use
     :meth:`OverlayDesignProblem.feasibility_report` for diagnostics).
+
+    .. note::
+       This is a compatibility wrapper over the unified strategy API: it runs
+       :meth:`repro.api.DesignPipeline.standard` (the registered ``"spaa03"``
+       designer) and produces bit-identical results for a fixed seed.  New
+       code should prefer ``repro.api.get_designer("spaa03").design(request)``
+       or :class:`repro.api.DesignPipeline` directly -- see ``docs/api.md``.
     """
-    parameters = parameters or DesignParameters()
-    if rng is None:
-        rng = np.random.default_rng(parameters.rounding.seed)
-    timings: dict[str, float] = {}
+    # Compatibility wrapper: the staged pipeline is the implementation now.
+    from repro.api.pipeline import DesignPipeline
 
-    # Stage 1: formulation + LP solve -----------------------------------------
-    start = time.perf_counter()
-    formulation: OverlayFormulation | SparseOverlayFormulation
-    if parameters.lp_backend == "sparse":
-        formulation = build_sparse_formulation(problem, parameters.extensions)
-    else:
-        formulation = build_formulation(problem, parameters.extensions)
-    timings["formulate"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    lp_solution = formulation.solve()
-    timings["solve_lp"] = time.perf_counter() - start
-    fractional = formulation.fractional_solution(lp_solution).support()
-
-    # Stage 2: randomized rounding ---------------------------------------------
-    start = time.perf_counter()
-    if parameters.retry_rounding:
-        rounded, audit, attempts = round_solution_with_retries(
-            problem,
-            fractional,
-            parameters.rounding,
-            rng,
-            max_attempts=parameters.max_rounding_attempts,
-        )
-    else:
-        rounded = round_solution(problem, fractional, parameters.rounding, rng)
-        audit = audit_rounding(problem, rounded)
-        attempts = 1
-    timings["rounding"] = time.perf_counter() - start
-
-    # Stage 3: modified GAP rounding -------------------------------------------
-    start = time.perf_counter()
-    gap_result = gap_round(problem, rounded, parameters.keep_degenerate_box)
-    timings["gap"] = time.perf_counter() - start
-
-    solution = OverlaySolution.from_assignments(
-        problem,
-        gap_result.assignments,
-        metadata={
-            "algorithm": "spaa03-lp-rounding",
-            "multiplier": rounded.multiplier,
-            "rounding_attempts": attempts,
-        },
-    )
-
-    # Stage 4 (optional): greedy repair of weight shortfalls --------------------
-    start = time.perf_counter()
-    if parameters.repair_shortfall:
-        repaired = repair_weight_shortfalls(
-            problem, solution, fanout_slack=parameters.repair_fanout_slack
-        )
-        solution = repaired
-    timings["repair"] = time.perf_counter() - start
-
-    return DesignReport(
-        solution=solution,
-        fractional=fractional,
-        rounded=rounded,
-        rounding_audit=audit,
-        gap=gap_result,
-        formulation_size=(formulation.num_variables, formulation.num_constraints),
-        stage_seconds=timings,
-        rounding_attempts=attempts,
-        lp_build_stats=getattr(formulation, "stats", None),
-    )
+    return DesignPipeline.standard().run(problem, parameters, rng).report()
 
 
 def repair_weight_shortfalls(

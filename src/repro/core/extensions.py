@@ -22,28 +22,14 @@ constraints are present.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.algorithm import DesignParameters, DesignReport, repair_weight_shortfalls
-from repro.core.formulation import (
-    ExtensionOptions,
-    build_formulation,
-    build_sparse_formulation,
-)
-from repro.core.gap import GapResult, gap_round
-from repro.core.path_rounding import (
-    EntangledSet,
-    PathRoundingResult,
-    arc_capacity_entangled_sets,
-    color_entangled_sets,
-    path_round,
-)
+from repro.core.algorithm import DesignParameters, DesignReport
+from repro.core.formulation import ExtensionOptions
+from repro.core.path_rounding import EntangledSet, PathRoundingResult
 from repro.core.problem import OverlayDesignProblem
-from repro.core.rounding import audit_rounding, round_solution, round_solution_with_retries
-from repro.core.solution import OverlaySolution
 
 
 @dataclass
@@ -65,99 +51,26 @@ def design_overlay_extended(
     the final integralization uses the Section-6.5 path rounding instead of the
     plain min-cost-flow GAP rounding; otherwise this behaves exactly like
     :func:`repro.core.algorithm.design_overlay`.
+
+    .. note::
+       This is a compatibility wrapper over the unified strategy API: it runs
+       :meth:`repro.api.DesignPipeline.extended` (the registered
+       ``"spaa03-extended"`` designer) and produces bit-identical results for
+       a fixed seed.  New code should prefer
+       ``repro.api.get_designer("spaa03-extended")`` -- see ``docs/api.md``.
     """
-    parameters = parameters or DesignParameters()
-    if rng is None:
-        rng = np.random.default_rng(parameters.rounding.seed)
-    options = parameters.extensions
-    timings: dict[str, float] = {}
+    from repro.api.pipeline import DesignPipeline
 
-    start = time.perf_counter()
-    if parameters.lp_backend == "sparse":
-        formulation = build_sparse_formulation(problem, options)
-    else:
-        formulation = build_formulation(problem, options)
-    timings["formulate"] = time.perf_counter() - start
+    context = DesignPipeline.extended().run(problem, parameters, rng)
+    return extended_report_from_context(context)
 
-    start = time.perf_counter()
-    lp_solution = formulation.solve()
-    timings["solve_lp"] = time.perf_counter() - start
-    fractional = formulation.fractional_solution(lp_solution).support()
 
-    start = time.perf_counter()
-    if parameters.retry_rounding:
-        rounded, audit, attempts = round_solution_with_retries(
-            problem,
-            fractional,
-            parameters.rounding,
-            rng,
-            max_attempts=parameters.max_rounding_attempts,
-        )
-    else:
-        rounded = round_solution(problem, fractional, parameters.rounding, rng)
-        audit = audit_rounding(problem, rounded)
-        attempts = 1
-    timings["rounding"] = time.perf_counter() - start
-
-    needs_path_rounding = options.use_color_constraints or options.use_arc_capacities
-
-    entangled: list[EntangledSet] = []
-    path_result: PathRoundingResult | None = None
-    start = time.perf_counter()
-    if needs_path_rounding:
-        support = list(rounded.x.keys())
-        if options.use_color_constraints:
-            entangled.extend(color_entangled_sets(problem, support))
-        if options.use_arc_capacities:
-            entangled.extend(arc_capacity_entangled_sets(problem, support))
-        path_result = path_round(
-            problem,
-            rounded,
-            entangled_sets=entangled,
-            rng=rng,
-            keep_degenerate_box=parameters.keep_degenerate_box,
-        )
-        gap_result = GapResult(
-            assignments=path_result.assignments,
-            flow_value=float(path_result.boxes_served),
-            boxes_total=path_result.boxes_total,
-            boxes_served=path_result.boxes_served,
-            cost=path_result.cost,
-        )
-    else:
-        gap_result = gap_round(problem, rounded, parameters.keep_degenerate_box)
-    timings["gap"] = time.perf_counter() - start
-
-    solution = OverlaySolution.from_assignments(
-        problem,
-        gap_result.assignments,
-        metadata={
-            "algorithm": "spaa03-lp-rounding-extended",
-            "multiplier": rounded.multiplier,
-            "rounding_attempts": attempts,
-            "path_rounding": needs_path_rounding,
-        },
-    )
-
-    start = time.perf_counter()
-    if parameters.repair_shortfall:
-        solution = repair_weight_shortfalls(
-            problem, solution, fanout_slack=parameters.repair_fanout_slack
-        )
-    timings["repair"] = time.perf_counter() - start
-
+def extended_report_from_context(context) -> ExtendedDesignReport:
+    """Assemble an :class:`ExtendedDesignReport` from a finished pipeline context."""
     return ExtendedDesignReport(
-        solution=solution,
-        fractional=fractional,
-        rounded=rounded,
-        rounding_audit=audit,
-        gap=gap_result,
-        formulation_size=(formulation.num_variables, formulation.num_constraints),
-        stage_seconds=timings,
-        rounding_attempts=attempts,
-        lp_build_stats=getattr(formulation, "stats", None),
-        path_rounding=path_result,
-        entangled_sets=entangled,
+        **context.report_fields(),
+        path_rounding=context.path_rounding,
+        entangled_sets=list(context.entangled_sets),
     )
 
 
@@ -188,4 +101,5 @@ __all__ = [
     "ExtendedDesignReport",
     "color_constrained_parameters",
     "design_overlay_extended",
+    "extended_report_from_context",
 ]

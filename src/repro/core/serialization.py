@@ -185,14 +185,29 @@ def load_solution(path: str, problem: OverlayDesignProblem) -> OverlaySolution:
         return solution_from_dict(json.load(handle), problem)
 
 
-def _check_document(data: dict[str, Any], expected_kind: str) -> None:
+def check_document(
+    data: dict[str, Any],
+    expected_kind: str,
+    *,
+    version: int = FORMAT_VERSION,
+    version_key: str = "format_version",
+) -> None:
+    """Validate a document's ``kind`` discriminator and version field.
+
+    Shared by this module's problem/solution documents (``format_version``)
+    and the :mod:`repro.api` request/result documents (``schema_version``).
+    """
     if not isinstance(data, dict):
         raise ValueError("document must be a JSON object")
     kind = data.get("kind")
     if kind != expected_kind:
         raise ValueError(f"expected a {expected_kind!r} document, got {kind!r}")
-    version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    found = data.get(version_key)
+    if found != version:
         raise ValueError(
-            f"unsupported format version {version!r} (this build reads {FORMAT_VERSION})"
+            f"unsupported {version_key} {found!r} (this build reads {version})"
         )
+
+
+def _check_document(data: dict[str, Any], expected_kind: str) -> None:
+    check_document(data, expected_kind)

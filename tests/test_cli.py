@@ -128,6 +128,98 @@ class TestDesignEvaluateSimulate:
         for name in ("spaa03+repair", "greedy", "single-tree", "random"):
             assert name in output
 
+    def test_design_with_baseline_strategy(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "greedy.json"
+        code = main(
+            ["design", "--problem", problem_file, "--strategy", "greedy", "--out", str(out)]
+        )
+        assert code == 0
+        assert "total_cost" in capsys.readouterr().out
+        problem = load_problem(problem_file)
+        assert load_solution(str(out), problem).assignments
+
+    def test_design_unknown_strategy_errors(self, problem_file, capsys):
+        assert main(["design", "--problem", problem_file, "--strategy", "nope"]) == 2
+        assert "unknown designer" in capsys.readouterr().err
+
+    def test_design_baseline_strategy_rejects_pipeline_flags(self, problem_file, capsys):
+        code = main(["design", "--problem", problem_file, "--strategy", "greedy", "--repair"])
+        assert code == 2
+        assert "pipeline-only" in capsys.readouterr().err
+        code = main(
+            ["design", "--problem", problem_file, "--strategy", "random", "--multiplier", "16"]
+        )
+        assert code == 2
+        assert "--multiplier" in capsys.readouterr().err
+
+    def test_design_bound_only_strategy_refuses_out(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "bound.json"
+        code = main(
+            ["design", "--problem", problem_file, "--strategy", "lp-bound", "--out", str(out)]
+        )
+        assert code == 2
+        assert "no integral design" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_compare_with_baseline_reference(self, problem_file, capsys):
+        assert main(["compare", "--problem", problem_file, "--strategy", "greedy"]) == 0
+        output = capsys.readouterr().out
+        # A baseline reference is not labeled "+repair", and the LP bound is
+        # fetched separately so the cost_ratio column is still present.
+        assert "greedy+repair" not in output
+        assert "cost_ratio" in output
+        for name in ("greedy", "naive-quality-first", "single-tree", "random"):
+            assert name in output
+
+    def test_compare_bound_only_reference_errors(self, problem_file, capsys):
+        assert main(["compare", "--problem", problem_file, "--strategy", "lp-bound"]) == 2
+        assert "no integral design" in capsys.readouterr().err
+
+    def test_design_list_strategies(self, capsys):
+        assert main(["design", "--list-strategies"]) == 0
+        output = capsys.readouterr().out
+        for name in ("spaa03", "spaa03-extended", "greedy", "exact", "lp-bound"):
+            assert name in output
+
+    def test_design_requires_problem_without_list(self, capsys):
+        assert main(["design"]) == 2
+        assert "--problem is required" in capsys.readouterr().err
+
+
+class TestBatch:
+    def test_batch_roundtrip(self, problem_file, tmp_path, capsys):
+        from repro.api import DesignRequest, dump_requests_jsonl
+        from repro.core.algorithm import DesignParameters
+
+        problem = load_problem(problem_file)
+        requests = [
+            DesignRequest(
+                problem=problem,
+                parameters=DesignParameters(seed=0, repair_shortfall=True),
+                strategy="spaa03",
+                request_id="a",
+            ),
+            DesignRequest(problem=problem, strategy="greedy", request_id="b"),
+        ]
+        requests_path = tmp_path / "requests.jsonl"
+        dump_requests_jsonl(requests, requests_path)
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", "--requests", str(requests_path), "--jobs", "2", "--out", str(out)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch of 2 designs" in output
+        import json
+
+        documents = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [d["kind"] for d in documents] == ["design-result"] * 2
+        assert [d["request_id"] for d in documents] == ["a", "b"]
+
+    def test_batch_missing_file_errors(self, tmp_path, capsys):
+        assert main(["batch", "--requests", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read requests" in capsys.readouterr().err
+
 
 class TestParser:
     def test_missing_subcommand_errors(self):
