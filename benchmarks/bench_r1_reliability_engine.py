@@ -1,0 +1,19 @@
+"""Experiment R1 -- vectorized Monte-Carlo engine vs the legacy loop.
+
+Scenario ``r1`` times the batched reliability engine
+(:func:`repro.simulation.run_monte_carlo`) against repeated
+:func:`repro.simulation.simulate_solution` calls on akamai-like workloads,
+checks the statistical agreement of their loss estimates (z-score), and
+asserts that the ``compat`` RNG mode is bit-identical to the legacy engine.
+Full (non-smoke) runs require a >= 20x peak paired-throughput ratio.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_r1_vectorized_engine_speedup_and_equivalence():
+    record = run_and_record("r1")
+    for row in record.rows:
+        assert row["compat_exact"]

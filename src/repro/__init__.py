@@ -64,6 +64,7 @@ from repro.api import (
     DesignPipeline,
     DesignRequest,
     DesignResult,
+    EvaluationSpec,
     design_batch,
     designer_names,
     get_designer,
@@ -85,8 +86,14 @@ from repro.core.formulation import (
 from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, StreamEdge
 from repro.core.rounding import RoundingParameters
 from repro.core.solution import OverlaySolution
+from repro.simulation import (
+    MonteCarloConfig,
+    evaluate_design,
+    run_monte_carlo,
+    simulate_solution,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Demand",
@@ -97,7 +104,9 @@ __all__ = [
     "DesignReport",
     "DesignRequest",
     "DesignResult",
+    "EvaluationSpec",
     "ExtensionOptions",
+    "MonteCarloConfig",
     "OverlayDesignProblem",
     "OverlaySolution",
     "RoundingParameters",
@@ -108,9 +117,12 @@ __all__ = [
     "design_overlay",
     "design_overlay_extended",
     "designer_names",
+    "evaluate_design",
     "fractional_lower_bound",
     "get_designer",
     "register_designer",
     "repair_weight_shortfalls",
+    "run_monte_carlo",
+    "simulate_solution",
     "__version__",
 ]

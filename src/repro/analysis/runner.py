@@ -155,6 +155,10 @@ class ScenarioSpec:
         Stem of the plain-text table artifact (defaults to the bench id).
     columns:
         Optional column order for the rendered table.
+    suites:
+        Named suite tags: ``repro bench --suite <tag>`` expands a tag to
+        every scenario carrying it (e.g. ``--suite reliability``), in
+        addition to accepting plain scenario ids.
     """
 
     scenario_id: str
@@ -167,6 +171,7 @@ class ScenarioSpec:
     artifact: str | None = None
     columns: Sequence[str] | None = None
     description: str = ""
+    suites: tuple[str, ...] = ()
 
     @property
     def bench_id(self) -> str:
@@ -198,6 +203,43 @@ def get_scenario(scenario_id: str) -> ScenarioSpec:
 def scenario_ids() -> list[str]:
     _ensure_scenarios_loaded()
     return sorted(_REGISTRY)
+
+
+def suite_tags() -> dict[str, list[str]]:
+    """All suite tags and the scenario ids carrying each, sorted."""
+    _ensure_scenarios_loaded()
+    tags: dict[str, list[str]] = {}
+    for sid in sorted(_REGISTRY):
+        for tag in _REGISTRY[sid].suites:
+            tags.setdefault(tag, []).append(sid)
+    return tags
+
+
+def expand_scenario_ids(requested: Iterable[str]) -> list[str]:
+    """Resolve a mix of scenario ids and suite tags to scenario ids.
+
+    Unknown names raise ``KeyError`` listing both the known ids and the known
+    tags; duplicates (an id requested directly and again via a tag) are kept
+    once, in first-mention order.
+    """
+    _ensure_scenarios_loaded()
+    tags = suite_tags()
+    out: list[str] = []
+    for name in requested:
+        if name in _REGISTRY:
+            expansion = [name]
+        elif name in tags:
+            expansion = tags[name]
+        else:
+            known = ", ".join(sorted(_REGISTRY))
+            known_tags = ", ".join(sorted(tags))
+            raise KeyError(
+                f"unknown suite {name!r} (scenario ids: {known}; suite tags: {known_tags})"
+            )
+        for sid in expansion:
+            if sid not in out:
+                out.append(sid)
+    return out
 
 
 def _ensure_scenarios_loaded() -> None:
@@ -568,6 +610,7 @@ __all__ = [
     "collect_environment",
     "compare_records",
     "execute_tasks",
+    "expand_scenario_ids",
     "get_scenario",
     "load_suite",
     "register_scenario",
@@ -575,4 +618,5 @@ __all__ = [
     "run_scenario",
     "save_suite",
     "scenario_ids",
+    "suite_tags",
 ]

@@ -58,6 +58,9 @@ from repro.api.types import (
     SCHEMA_VERSION,
     DesignRequest,
     DesignResult,
+    EvaluationSpec,
+    evaluation_spec_from_dict,
+    evaluation_spec_to_dict,
     parameters_from_dict,
     parameters_to_dict,
     request_from_dict,
@@ -76,6 +79,7 @@ __all__ = [
     "DesignPipeline",
     "DesignRequest",
     "DesignResult",
+    "EvaluationSpec",
     "ExtendedRoundStage",
     "FormulateStage",
     "PipelineContext",
@@ -89,6 +93,8 @@ __all__ = [
     "designer_names",
     "dump_requests_jsonl",
     "dump_results_jsonl",
+    "evaluation_spec_from_dict",
+    "evaluation_spec_to_dict",
     "get_designer",
     "load_requests_jsonl",
     "parameters_from_dict",

@@ -82,6 +82,22 @@ class RegisteredDesigner:
         result = self.run(request)
         result.strategy = self.name
         result.request_id = request.request_id
+        if request.evaluation is not None and self.produces_solution:
+            # Reliability sweep across the failure-scenario catalogue; lazy
+            # import keeps the registry importable without the simulation
+            # stack (and avoids a circular import at module load).
+            from repro.simulation import evaluate_design
+
+            spec = request.evaluation
+            result.evaluation = evaluate_design(
+                request.problem,
+                result.solution,
+                spec.scenarios,
+                trials=spec.trials,
+                num_packets=spec.num_packets,
+                window=spec.window,
+                seed=spec.seed,
+            )
         return result
 
 

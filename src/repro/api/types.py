@@ -44,6 +44,72 @@ RESULT_KIND = "design-result"
 
 
 @dataclass
+class EvaluationSpec:
+    """Monte-Carlo reliability evaluation attached to a design request.
+
+    When a request carries one, the registry runs the produced solution
+    through the failure-scenario catalogue
+    (:func:`repro.simulation.evaluate_design`) and attaches the per-scenario
+    reliability metrics to the result's ``evaluation`` field.
+
+    Attributes
+    ----------
+    scenarios:
+        Registered failure-scenario names, or ``"all"`` for the whole
+        catalogue.
+    trials:
+        Monte-Carlo trials per scenario.
+    num_packets:
+        Packets per simulated session.
+    window:
+        Worst-window statistic size (multiples of 8 stay on the engine's
+        byte-aligned fast path).
+    seed:
+        Seed of the evaluation sweep (failure draws + engine randomness).
+    """
+
+    scenarios: tuple[str, ...] | str = "all"
+    trials: int = 30
+    num_packets: int = 2000
+    window: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scenarios, list):
+            self.scenarios = tuple(self.scenarios)
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if self.num_packets <= 0:
+            raise ValueError("num_packets must be positive")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+def evaluation_spec_to_dict(spec: EvaluationSpec) -> dict[str, Any]:
+    """Encode an :class:`EvaluationSpec` as a JSON-compatible mapping."""
+    scenarios = spec.scenarios
+    return {
+        "scenarios": list(scenarios) if not isinstance(scenarios, str) else scenarios,
+        "trials": spec.trials,
+        "num_packets": spec.num_packets,
+        "window": spec.window,
+        "seed": spec.seed,
+    }
+
+
+def evaluation_spec_from_dict(data: dict[str, Any]) -> EvaluationSpec:
+    """Decode an :class:`EvaluationSpec` from its JSON form."""
+    scenarios = data.get("scenarios", "all")
+    return EvaluationSpec(
+        scenarios=scenarios if isinstance(scenarios, str) else tuple(scenarios),
+        trials=data.get("trials", 30),
+        num_packets=data.get("num_packets", 2000),
+        window=data.get("window", 200),
+        seed=data.get("seed", 0),
+    )
+
+
+@dataclass
 class DesignRequest:
     """One unit of design work addressed to a registered strategy.
 
@@ -60,6 +126,10 @@ class DesignRequest:
     options:
         Per-strategy keyword options (e.g. ``{"fanout_slack": 2.0}`` for the
         greedy baseline).  Unknown options raise ``ValueError`` at design time.
+    evaluation:
+        Optional :class:`EvaluationSpec`; when present (and the strategy
+        produces a solution) the result carries per-scenario reliability
+        metrics from the Monte-Carlo engine under ``result.evaluation``.
     request_id:
         Optional caller-supplied correlation id, echoed on the result.
     """
@@ -68,6 +138,7 @@ class DesignRequest:
     parameters: DesignParameters = field(default_factory=DesignParameters)
     strategy: str = "spaa03"
     options: dict = field(default_factory=dict)
+    evaluation: EvaluationSpec | None = None
     request_id: str | None = None
 
     @property
@@ -98,6 +169,9 @@ class DesignResult:
     metadata:
         Free-form strategy-specific extras (rounding attempts, search nodes,
         ...).  Only JSON-typed values survive serialization.
+    evaluation:
+        Per-scenario reliability metrics (``{scenario: {metric: value}}``)
+        when the request carried an :class:`EvaluationSpec`, else ``None``.
     request_id:
         Echo of the request's correlation id.
     report:
@@ -111,6 +185,7 @@ class DesignResult:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     audit: SolutionAudit | None = None
     metadata: dict = field(default_factory=dict)
+    evaluation: dict[str, dict[str, float]] | None = None
     request_id: str | None = None
     report: DesignReport | None = None
     schema_version: int = SCHEMA_VERSION
@@ -241,6 +316,11 @@ def request_to_dict(request: DesignRequest) -> dict[str, Any]:
         "request_id": request.request_id,
         "parameters": parameters_to_dict(request.parameters),
         "options": dict(request.options),
+        "evaluation": (
+            evaluation_spec_to_dict(request.evaluation)
+            if request.evaluation is not None
+            else None
+        ),
         "problem": problem_to_dict(request.problem),
     }
 
@@ -250,11 +330,17 @@ def request_from_dict(data: dict[str, Any]) -> DesignRequest:
     check_document(
         data, REQUEST_KIND, version=SCHEMA_VERSION, version_key="schema_version"
     )
+    evaluation_data = data.get("evaluation")
     return DesignRequest(
         problem=problem_from_dict(data["problem"]),
         parameters=parameters_from_dict(data.get("parameters", {})),
         strategy=data.get("strategy", "spaa03"),
         options=dict(data.get("options", {})),
+        evaluation=(
+            evaluation_spec_from_dict(evaluation_data)
+            if evaluation_data is not None
+            else None
+        ),
         request_id=data.get("request_id"),
     )
 
@@ -279,6 +365,7 @@ def result_to_dict(result: DesignResult) -> dict[str, Any]:
             for key, value in result.metadata.items()
             if isinstance(value, (str, int, float, bool, type(None)))
         },
+        "evaluation": result.evaluation,
         "solution": solution_to_dict(result.solution),
     }
 
@@ -298,6 +385,7 @@ def result_from_dict(
         stage_seconds=dict(data.get("stage_seconds", {})),
         audit=audit_from_dict(audit_data) if audit_data is not None else None,
         metadata=dict(data.get("metadata", {})),
+        evaluation=data.get("evaluation"),
         request_id=data.get("request_id"),
     )
 
@@ -306,8 +394,11 @@ __all__ = [
     "SCHEMA_VERSION",
     "DesignRequest",
     "DesignResult",
+    "EvaluationSpec",
     "audit_from_dict",
     "audit_to_dict",
+    "evaluation_spec_from_dict",
+    "evaluation_spec_to_dict",
     "parameters_from_dict",
     "parameters_to_dict",
     "request_from_dict",

@@ -16,7 +16,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate --problem instance.json --solution design.json
     python -m repro.cli simulate --problem instance.json --solution design.json \
                                  --packets 20000
+    python -m repro.cli simulate --problem instance.json --solution design.json \
+                                 --scenario all --trials 200 --jobs auto
     python -m repro.cli bench    --suite t5 --jobs 4 --out benchmarks/results
+    python -m repro.cli bench    --suite reliability --jobs auto
     python -m repro.cli bench    --smoke --jobs auto \
                                  --compare-to benchmarks/results/baseline.json
 
@@ -252,23 +255,173 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    problem = load_problem(args.problem)
-    solution = load_solution(args.solution, problem)
-    config = SimulationConfig(num_packets=args.packets, seed=args.seed)
-    sim = simulate_solution(problem, solution, config, rng=np.random.default_rng(args.seed))
+def _simulate_scenario_task(task: dict) -> dict:
+    """One (scenario, problem, solution) reliability sweep unit.
+
+    Module-level so the parallel executor can pickle it; paths travel in the
+    task dict and are re-loaded inside the worker.  Metrics come from
+    :func:`repro.simulation.evaluate_design`, so a CLI sweep is seeded and
+    assembled identically to the Designer-API and R2 sweeps.
+    """
+    from repro.simulation import evaluate_design
+
+    problem = load_problem(task["problem"])
+    solution = load_solution(task["solution"], problem)
+    metrics = evaluate_design(
+        problem,
+        solution,
+        (task["scenario"],),
+        trials=task["trials"],
+        num_packets=task["packets"],
+        window=task["window"],
+        seed=task["seed"],
+    )[task["scenario"]]
+    return {
+        "scenario": task["scenario"],
+        "failure_events": int(metrics["failure_events"]),
+        "mean_loss": metrics["mean_loss"],
+        "mean_loss_ci95": metrics["mean_loss_ci95"],
+        "max_loss": metrics["max_loss"],
+        "mean_worst_window_loss": metrics["mean_worst_window_loss"],
+        "fraction_meeting_threshold": metrics["fraction_meeting_threshold"],
+    }
+
+
+def _list_failure_scenarios() -> int:
+    from repro.simulation import failure_scenario_names, get_failure_scenario
+
     rows = [
         {
-            "demand": f"{key[0]}/{key[1]}",
-            "paths": result.paths,
-            "loss_rate": result.loss_rate,
-            "worst_window_loss": result.worst_window_loss,
-            "meets_threshold": result.meets_threshold,
+            "scenario": name,
+            "tags": ",".join(get_failure_scenario(name).tags) or "-",
+            "description": get_failure_scenario(name).description,
         }
-        for key, result in ((r.demand_key, r) for r in sim.demands)
+        for name in failure_scenario_names()
     ]
-    print(format_table(rows, title=f"packet simulation ({args.packets} packets)"))
-    print(f"\nmean loss {sim.mean_loss:.4f}; {sim.fraction_meeting_threshold:.0%} of demands within budget")
+    print(format_table(rows, title="registered failure scenarios"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import execute_tasks, resolve_jobs
+    from repro.simulation import MonteCarloConfig, failure_scenario_names, run_monte_carlo
+
+    if args.list_scenarios:
+        return _list_failure_scenarios()
+    if not args.problem or not args.solution:
+        print("error: --problem and --solution are required", file=sys.stderr)
+        return 2
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.scenario:
+        if args.engine not in ("auto", "vectorized"):
+            print(
+                f"error: --engine {args.engine} cannot drive a scenario sweep "
+                "(sweeps always use the vectorized engine)",
+                file=sys.stderr,
+            )
+            return 2
+        names: list[str] = []
+        for chunk in args.scenario:
+            names.extend(s.strip() for s in chunk.split(",") if s.strip())
+        if "all" in names:
+            names = failure_scenario_names()
+        unknown = [n for n in names if n not in failure_scenario_names()]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)}; "
+                f"known: {', '.join(failure_scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        tasks = [
+            {
+                "scenario": name,
+                "problem": args.problem,
+                "solution": args.solution,
+                "packets": args.packets,
+                "trials": args.trials,
+                "window": args.window if args.window is not None else 200,
+                "seed": args.seed,
+            }
+            for name in names
+        ]
+        rows = execute_tasks(_simulate_scenario_task, tasks, jobs=jobs)
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"reliability sweep ({args.trials} trials x {args.packets} "
+                    f"packets, jobs={jobs})"
+                ),
+            )
+        )
+        return 0
+
+    problem = load_problem(args.problem)
+    solution = load_solution(args.solution, problem)
+    engine = args.engine
+    if engine == "auto":
+        engine = "legacy" if args.trials == 1 else "vectorized"
+    if engine == "legacy":
+        if args.trials != 1:
+            print("error: --engine legacy simulates a single trial", file=sys.stderr)
+            return 2
+        window_kwargs = {"window": args.window} if args.window is not None else {}
+        config = SimulationConfig(num_packets=args.packets, seed=args.seed, **window_kwargs)
+        sim = simulate_solution(
+            problem, solution, config, rng=np.random.default_rng(args.seed)
+        )
+        rows = [
+            {
+                "demand": f"{key[0]}/{key[1]}",
+                "paths": result.paths,
+                "loss_rate": result.loss_rate,
+                "worst_window_loss": result.worst_window_loss,
+                "meets_threshold": result.meets_threshold,
+            }
+            for key, result in ((r.demand_key, r) for r in sim.demands)
+        ]
+        print(format_table(rows, title=f"packet simulation ({args.packets} packets)"))
+        print(
+            f"\nmean loss {sim.mean_loss:.4f}; "
+            f"{sim.fraction_meeting_threshold:.0%} of demands within budget"
+        )
+        return 0
+
+    config = MonteCarloConfig(
+        num_packets=args.packets,
+        trials=args.trials,
+        window=args.window if args.window is not None else 200,
+        seed=args.seed,
+        rng_mode="compat" if engine == "compat" else "batched",
+    )
+    report = run_monte_carlo(problem, solution, config)
+    rows = [
+        {
+            "demand": f"{d.demand_key[0]}/{d.demand_key[1]}",
+            "paths": d.paths,
+            "mean_loss": d.mean_loss,
+            "loss_std": d.loss_std,
+            "mean_worst_window": d.mean_worst_window,
+            "meets_threshold": d.meets_threshold_fraction,
+        }
+        for d in report.demands
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"Monte-Carlo simulation ({args.trials} trials x {args.packets} packets)",
+        )
+    )
+    print(
+        f"\nmean loss {report.mean_loss:.4f} +- {report.mean_loss_ci_halfwidth:.4f} (95% CI); "
+        f"{report.fraction_meeting_threshold:.0%} of demand-trials within budget"
+    )
     return 0
 
 
@@ -311,19 +464,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.runner import (
         compare_records,
+        expand_scenario_ids,
         get_scenario,
         load_suite,
         resolve_jobs,
         run_scenario,
         save_suite,
         scenario_ids,
+        suite_tags,
     )
 
     known = scenario_ids()
     if args.list:
+        tags = suite_tags()
         rows = [
             {
                 "suite": sid,
+                "tags": ",".join(
+                    tag for tag, members in sorted(tags.items()) if sid in members
+                )
+                or "-",
                 "artifact": f"BENCH_{get_scenario(sid).bench_id}.json",
                 "description": get_scenario(sid).description or get_scenario(sid).title,
             }
@@ -333,18 +493,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     if args.suite:
-        requested: list[str] = []
+        names: list[str] = []
         for chunk in args.suite:
-            requested.extend(s.strip() for s in chunk.split(",") if s.strip())
+            names.extend(s.strip() for s in chunk.split(",") if s.strip())
+        try:
+            requested = expand_scenario_ids(names)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
     else:
         requested = known
-    unknown = [sid for sid in requested if sid not in known]
-    if unknown:
-        print(
-            f"error: unknown suite(s) {', '.join(unknown)}; known: {', '.join(known)}",
-            file=sys.stderr,
-        )
-        return 2
 
     try:
         jobs = resolve_jobs(args.jobs)
@@ -491,11 +649,50 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--out", help="output results JSONL path")
     batch.set_defaults(func=_cmd_batch)
 
-    simulate = sub.add_parser("simulate", help="packet-level replay of a solution")
-    simulate.add_argument("--problem", required=True)
-    simulate.add_argument("--solution", required=True)
+    simulate = sub.add_parser(
+        "simulate",
+        help="packet-level replay of a solution (single session or Monte-Carlo sweep)",
+    )
+    simulate.add_argument("--problem", help="problem JSON path")
+    simulate.add_argument("--solution", help="solution JSON path")
     simulate.add_argument("--packets", type=int, default=10_000)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="Monte-Carlo trials (>1 switches to the vectorized engine)",
+    )
+    simulate.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="worst-window statistic size in packets (defaults: 500 for single "
+        "legacy replays, 200 for Monte-Carlo runs)",
+    )
+    simulate.add_argument(
+        "--scenario",
+        action="append",
+        help="failure scenario(s) to sweep (repeatable / comma-separated; 'all' "
+        "for the whole catalogue; see --list-scenarios)",
+    )
+    simulate.add_argument(
+        "--engine",
+        choices=["auto", "legacy", "vectorized", "compat"],
+        default="auto",
+        help="auto picks legacy for --trials 1, vectorized otherwise; compat "
+        "replays the legacy draw order bit-for-bit",
+    )
+    simulate.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for scenario sweeps: a number or 'auto' (default: 1)",
+    )
+    simulate.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered failure scenarios and exit",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     bench = sub.add_parser(

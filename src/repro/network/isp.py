@@ -101,3 +101,22 @@ class ISPRegistry:
             else:
                 probability *= 1.0 - isp.outage_probability
         return probability
+
+    def sample_outage_schedule(
+        self,
+        num_packets: int,
+        rng: np.random.Generator,
+        **sampler_options,
+    ) -> "FailureSchedule":
+        """Sample a correlated ISP-outage schedule for a simulated session.
+
+        Thin bridge to
+        :func:`repro.simulation.failures.sample_isp_outage_schedule` (the
+        common-shock model) over this registry's ISPs; keyword options are
+        forwarded to the sampler.
+        """
+        from repro.simulation.failures import sample_isp_outage_schedule
+
+        return sample_isp_outage_schedule(
+            self.names(), num_packets, rng, **sampler_options
+        )

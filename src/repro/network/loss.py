@@ -22,8 +22,147 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
+
+#: Below this loss probability the batched Bernoulli sampler uses geometric
+#: skip-sampling (drawing only the loss *positions*); above it a dense
+#: comparison draw is cheaper per generated value.
+_SPARSE_SAMPLING_THRESHOLD = 0.45
+
+
+def _gap_budget(mean_losses: float) -> float:
+    """Gap draws budgeted per chain: mean + ~2 sigma + slack.
+
+    Shared by the bucket planner, the position sampler and the packed bucket
+    fill -- tuning the headroom in one place keeps the planner's "no row
+    overdraws more than ~40%" invariant and the samplers' top-up frequency
+    in sync (and the engine's memory estimate in
+    :func:`repro.simulation.montecarlo._chunk_trials` mirrors it).
+    """
+    return mean_losses + 2.0 * np.sqrt(mean_losses + 1.0) + 8.0
+
+
+def _budget_buckets(
+    probabilities: np.ndarray, sparse_rows: list[int], num_packets: int
+) -> list[np.ndarray]:
+    """Group sparse-sampled rows into buckets of similar gap budgets.
+
+    The batched 3D draw sizes its gap budget by the bucket's largest loss
+    probability, so rows are bucketed (by probability order) such that no row
+    overdraws more than ~40% relative to its own need.
+    """
+    if not sparse_rows:
+        return []
+
+    def budget_of(p: float) -> float:
+        return _gap_budget(num_packets * p)
+
+    ordered = sorted(sparse_rows, key=lambda row: probabilities[row])
+    buckets: list[list[int]] = []
+    current: list[int] = []
+    floor = 0.0
+    for row in ordered:
+        need = budget_of(float(probabilities[row]))
+        if not current:
+            current = [row]
+            floor = need
+        elif need <= 1.4 * floor + 8.0:
+            current.append(row)
+        else:
+            buckets.append(current)
+            current = [row]
+            floor = need
+    buckets.append(current)
+    return [np.sort(np.asarray(bucket, dtype=np.int64)) for bucket in buckets]
+
+
+def _bernoulli_position_parts(
+    loss_probability: float,
+    trials: int,
+    length: int,
+    rng: np.random.Generator,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Loss positions as ``(main, extras)`` part pairs of ``(trials, positions)``.
+
+    The *main* part comes from one batched round of geometric gaps and is
+    emitted trial-major with strictly increasing positions (globally sorted).
+    Trials whose gap budget ran short continue in *extras*, which preserve
+    the within-trial ordering but not the global one; with the ~2-sigma gap
+    budget extras hold a fraction of a percent of the positions, so callers
+    can treat them as a slow path.
+    """
+    if not 0.0 < loss_probability < 1.0:
+        raise ValueError("loss positions need p strictly inside (0, 1)")
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if trials <= 0 or length <= 0:
+        return empty, empty
+    if loss_probability >= _SPARSE_SAMPLING_THRESHOLD:
+        lost = rng.random((trials, length)) < loss_probability
+        trial_idx, positions = np.nonzero(lost)
+        return (trial_idx.astype(np.int64), positions.astype(np.int64)), empty
+    inv_rate = np.float32(1.0 / -np.log1p(-loss_probability))
+    budget = int(np.ceil(_gap_budget(length * loss_probability)))
+    # Gaps beyond the session end all behave the same, so clamping before the
+    # integer cast keeps the cumulative positions overflow-free even for tiny
+    # loss probabilities (whose raw gaps can be astronomically large).
+    gap_dtype = np.int32 if budget * (length + 2) < 2**31 else np.int64
+    limit = np.float32(length + 1)
+    trial_parts: list[np.ndarray] = []
+    position_parts: list[np.ndarray] = []
+    active = np.arange(trials, dtype=np.int64)
+    cursor = np.full(trials, -1, dtype=np.int64)
+    main: tuple[np.ndarray, np.ndarray] | None = None
+    while active.size:
+        draws = rng.standard_exponential((active.size, budget), dtype=np.float32)
+        gaps = np.minimum(draws * inv_rate, limit).astype(gap_dtype)
+        gaps += 1
+        positions = np.cumsum(gaps, axis=1)
+        positions += cursor[active, None].astype(gap_dtype)
+        valid = positions < length
+        counts = valid.sum(axis=1)
+        part = (np.repeat(active, counts), positions[valid].astype(np.int64))
+        if main is None:
+            main = part
+        else:
+            trial_parts.append(part[0])
+            position_parts.append(part[1])
+        cursor[active] = positions[:, -1]
+        active = active[positions[:, -1] < length - 1]
+    if trial_parts:
+        extras = (np.concatenate(trial_parts), np.concatenate(position_parts))
+    else:
+        extras = empty
+    return main if main is not None else empty, extras
+
+
+def sample_bernoulli_positions(
+    loss_probability: float,
+    trials: int,
+    length: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of Bernoulli(p) losses over ``trials`` windows of ``length``.
+
+    Returns ``(trial_indices, positions)`` -- the coordinates of every lost
+    packet, exactly distributed as independent per-packet coin flips.  For
+    small ``p`` the inter-loss gaps are sampled directly: a gap is
+    ``floor(E / -log1p(-p)) + 1`` with ``E`` standard exponential, which is
+    *exactly* Geometric(p), so only ``~p * length`` values are generated per
+    trial instead of ``length``.  Positions are strictly increasing within
+    each trial (several callers rely on this to OR bits without collisions),
+    though a small tail of top-up entries may trail the trial-major bulk.
+    """
+    (main_trials, main_positions), (extra_trials, extra_positions) = (
+        _bernoulli_position_parts(loss_probability, trials, length, rng)
+    )
+    if extra_trials.size == 0:
+        return main_trials, main_positions
+    return (
+        np.concatenate([main_trials, extra_trials]),
+        np.concatenate([main_positions, extra_positions]),
+    )
 
 
 class LossModel(ABC):
@@ -44,6 +183,54 @@ class LossModel(ABC):
         remains the right first-order prediction.
         """
 
+    def sample_loss_matrix(
+        self,
+        loss_probabilities: np.ndarray,
+        trials: int,
+        num_packets: int,
+        rng: np.random.Generator,
+        links: Sequence[tuple[str, str]] | None = None,
+    ) -> np.ndarray:
+        """Batched sampling: one boolean ``(links, trials, num_packets)`` block.
+
+        The distribution of every ``(link, trial)`` row matches
+        :meth:`sample_losses` for that link's probability (the vectorized
+        Monte-Carlo engine relies on this).  The generic implementation loops
+        over links and trials so any custom model works unmodified; the
+        built-in models override it with vectorized samplers.
+        """
+        loss_probabilities = np.asarray(loss_probabilities, dtype=np.float64)
+        out = np.empty((loss_probabilities.size, trials, num_packets), dtype=bool)
+        for index, probability in enumerate(loss_probabilities):
+            link = links[index] if links is not None else None
+            for trial in range(trials):
+                out[index, trial] = self.sample_losses(
+                    float(probability), num_packets, rng, link=link
+                )
+        return out
+
+    def sample_packed_loss_matrix(
+        self,
+        loss_probabilities: np.ndarray,
+        trials: int,
+        num_packets: int,
+        rng: np.random.Generator,
+        links: Sequence[tuple[str, str]] | None = None,
+    ) -> np.ndarray:
+        """Bit-packed loss matrix: ``(links, trials, ceil(packets / 8))`` uint8.
+
+        Packet ``t`` of a row maps to bit ``t % 8`` (little-endian) of byte
+        ``t // 8``; trailing pad bits are zero.  The Monte-Carlo engine works
+        on this packed form (bitwise AND/OR + popcounts are ~8x cheaper than
+        boolean arrays).  The default packs :meth:`sample_loss_matrix`;
+        :class:`BernoulliLossModel` builds the bytes directly from sampled
+        loss positions without materializing a boolean array at all.
+        """
+        dense = self.sample_loss_matrix(
+            loss_probabilities, trials, num_packets, rng, links=links
+        )
+        return np.packbits(dense, axis=-1, bitorder="little")
+
 
 @dataclass
 class BernoulliLossModel(LossModel):
@@ -58,6 +245,159 @@ class BernoulliLossModel(LossModel):
     ) -> np.ndarray:
         _check(loss_probability, num_packets)
         return rng.random(num_packets) < loss_probability
+
+    def sample_loss_matrix(
+        self,
+        loss_probabilities: np.ndarray,
+        trials: int,
+        num_packets: int,
+        rng: np.random.Generator,
+        links: Sequence[tuple[str, str]] | None = None,
+    ) -> np.ndarray:
+        """Vectorized Bernoulli sampling over ``(links, trials, packets)``.
+
+        Real overlay links lose ~1--5% of packets, so drawing one uniform per
+        packet wastes almost all of the generated entropy; each row is sampled
+        through :func:`sample_bernoulli_positions` (geometric skip-sampling)
+        and scattered into a zero mask.
+        """
+        probabilities = np.asarray(loss_probabilities, dtype=np.float64)
+        for probability in probabilities:
+            _check(float(probability), num_packets)
+        out = np.zeros((probabilities.size, trials, num_packets), dtype=bool)
+        if num_packets == 0 or trials == 0:
+            return out
+        flat = out.reshape(-1)
+        for index, probability in enumerate(probabilities):
+            p = float(probability)
+            if p <= 0.0:
+                continue
+            if p >= 1.0:
+                out[index] = True
+                continue
+            trial_idx, positions = sample_bernoulli_positions(p, trials, num_packets, rng)
+            flat[(index * trials + trial_idx) * num_packets + positions] = True
+        return out
+
+    def sample_packed_loss_matrix(
+        self,
+        loss_probabilities: np.ndarray,
+        trials: int,
+        num_packets: int,
+        rng: np.random.Generator,
+        links: Sequence[tuple[str, str]] | None = None,
+    ) -> np.ndarray:
+        """Packed Bernoulli sampling straight from loss positions.
+
+        Rows with similar probabilities are bucketed into single 3D
+        exponential-gap draws (:func:`_budget_buckets`); loss positions turn
+        into byte indices + bit values OR-ed straight into the packed output,
+        skipping any boolean or dense intermediate.  This is the hot path of
+        the Monte-Carlo engine.
+        """
+        probabilities = np.asarray(loss_probabilities, dtype=np.float64)
+        for probability in probabilities:
+            _check(float(probability), num_packets)
+        num_bytes = (num_packets + 7) // 8
+        shape = (probabilities.size, trials, num_bytes)
+        out = np.zeros(shape, dtype=np.uint8)
+        if trials == 0 or num_packets == 0 or probabilities.size == 0:
+            return out
+        flat_out = out.reshape(-1)
+        sparse_rows: list[int] = []
+        for index, probability in enumerate(probabilities):
+            p = float(probability)
+            if p <= 0.0:
+                continue
+            if p >= 1.0:
+                out[index] = 0xFF
+                if num_packets % 8:
+                    out[index, :, -1] = (1 << (num_packets % 8)) - 1
+            elif p >= _SPARSE_SAMPLING_THRESHOLD:
+                lost = rng.random((trials, num_packets)) < p
+                out[index] = np.packbits(lost, axis=-1, bitorder="little")
+            else:
+                sparse_rows.append(index)
+        for rows in _budget_buckets(probabilities, sparse_rows, num_packets):
+            self._fill_packed_bucket(
+                flat_out, probabilities, rows, trials, num_packets, num_bytes, rng
+            )
+        return out
+
+    @staticmethod
+    def _fill_packed_bucket(
+        flat_out: np.ndarray,
+        probabilities: np.ndarray,
+        rows: np.ndarray,
+        trials: int,
+        num_packets: int,
+        num_bytes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Sample one bucket of similar-probability rows in a single 3D draw.
+
+        Loss positions become byte indices + bit values OR-ed into the packed
+        output with one unbuffered ``bitwise_or.at`` (correct under any order
+        and under same-byte collisions).  The ~2-sigma gap budget is sized by
+        the bucket's largest probability; chains that run short continue with
+        vectorized top-up rounds over the remaining packets (the process is
+        memoryless).
+        """
+        bucket = probabilities[rows]
+        inv_rate = (1.0 / -np.log1p(-bucket)).astype(np.float32)
+        budget = int(np.ceil(_gap_budget(num_packets * float(bucket.max()))))
+        gap_dtype = np.int32 if budget * (num_packets + 2) < 2**31 else np.int64
+        draws = rng.standard_exponential((rows.size, trials, budget), dtype=np.float32)
+        gaps = np.minimum(
+            draws * inv_rate[:, None, None], np.float32(num_packets + 1)
+        ).astype(gap_dtype)
+        gaps += 1
+        positions = np.cumsum(gaps, axis=2)
+        positions -= 1
+        valid = positions < num_packets
+        counts = valid.sum(axis=2)
+        base = (rows[:, None] * trials + np.arange(trials)[None, :]) * num_bytes
+        kept = positions[valid]
+        flat_index = np.repeat(base.ravel(), counts.ravel()) + (kept >> 3)
+        bits = np.left_shift(1, kept & 7).astype(np.uint8)
+        if flat_index.size:
+            np.bitwise_or.at(flat_out, flat_index, bits)
+        # Chains whose budget ran short (a few percent with the 2-sigma
+        # budget) continue in bulk: vectorized rounds over the short chains
+        # only, with the entries OR-ed in at the end (bitwise_or.at is
+        # unbuffered, so unsorted/duplicate byte indices are safe).
+        last = positions[:, :, -1]
+        short_row, short_trial = np.nonzero(last < num_packets - 1)
+        if short_row.size:
+            chain_offsets = (rows[short_row] * trials + short_trial) * num_bytes
+            chain_inv = inv_rate[short_row]
+            cursor = last[short_row, short_trial].astype(np.int64)
+            active = np.arange(short_row.size)
+            tail_index_parts: list[np.ndarray] = []
+            tail_bit_parts: list[np.ndarray] = []
+            topup = max(8, budget // 8)
+            while active.size:
+                draws = rng.standard_exponential((active.size, topup), dtype=np.float32)
+                gaps = np.minimum(
+                    draws * chain_inv[active, None], np.float32(num_packets + 1)
+                ).astype(np.int64)
+                gaps += 1
+                tail_positions = np.cumsum(gaps, axis=1)
+                tail_positions += cursor[active, None]
+                tail_valid = tail_positions < num_packets
+                tail_counts = tail_valid.sum(axis=1)
+                kept_tail = tail_positions[tail_valid]
+                tail_index_parts.append(
+                    np.repeat(chain_offsets[active], tail_counts) + (kept_tail >> 3)
+                )
+                tail_bit_parts.append(np.left_shift(1, kept_tail & 7).astype(np.uint8))
+                cursor[active] = tail_positions[:, -1]
+                active = active[tail_positions[:, -1] < num_packets - 1]
+            np.bitwise_or.at(
+                flat_out,
+                np.concatenate(tail_index_parts),
+                np.concatenate(tail_bit_parts),
+            )
 
 
 @dataclass
@@ -110,6 +450,60 @@ class GilbertElliottLossModel(LossModel):
                 state = transitions[t] < p_enter_bad
         loss_rates = np.where(states, loss_bad, loss_good)
         return uniforms < loss_rates
+
+    def _chain_parameters(
+        self, probabilities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """Per-link (loss_good, loss_bad) plus the shared transition rates."""
+        pi_bad = self.bad_state_fraction
+        loss_good = np.minimum(probabilities * self.good_scale, 1.0)
+        loss_bad = np.clip(
+            (probabilities - (1.0 - pi_bad) * loss_good) / pi_bad, 0.0, 1.0
+        )
+        p_leave_bad = 1.0 / max(self.mean_burst_length, 1.0)
+        p_enter_bad = float(
+            np.clip(p_leave_bad * pi_bad / max(1.0 - pi_bad, 1e-9), 0.0, 1.0)
+        )
+        return loss_good, loss_bad, p_leave_bad, p_enter_bad
+
+    def sample_loss_matrix(
+        self,
+        loss_probabilities: np.ndarray,
+        trials: int,
+        num_packets: int,
+        rng: np.random.Generator,
+        links: Sequence[tuple[str, str]] | None = None,
+    ) -> np.ndarray:
+        """Vectorized chains: all ``(link, trial)`` state machines step together.
+
+        The per-packet Markov update runs once over an ``(links, trials)``
+        state matrix instead of once per packet per link in Python, which is
+        what makes the bursty scenario usable at Monte-Carlo trial counts.
+        """
+        probabilities = np.asarray(loss_probabilities, dtype=np.float64)
+        for probability in probabilities:
+            _check(float(probability), num_packets)
+        num_links = probabilities.size
+        if num_links == 0 or trials == 0 or num_packets == 0:
+            return np.zeros((num_links, trials, num_packets), dtype=bool)
+        loss_good, loss_bad, p_leave_bad, p_enter_bad = self._chain_parameters(
+            probabilities
+        )
+        uniforms = rng.random((num_links, trials, num_packets))
+        transitions = rng.random((num_links, trials, num_packets))
+        state = rng.random((num_links, trials)) < self.bad_state_fraction
+        rates = np.empty((num_links, trials, num_packets))
+        good = loss_good[:, None]
+        bad = loss_bad[:, None]
+        for t in range(num_packets):
+            rates[:, :, t] = np.where(state, bad, good)
+            step = transitions[:, :, t]
+            state = np.where(state, step >= p_leave_bad, step < p_enter_bad)
+        lost = uniforms < rates
+        # Degenerate endpoints keep the exact semantics of sample_losses.
+        lost[probabilities <= 0.0] = False
+        lost[probabilities >= 1.0] = True
+        return lost
 
 
 @dataclass

@@ -4,37 +4,84 @@ The paper evaluates designs analytically (loss probabilities combine by the
 rules of Section 1.3).  A deployed system, however, is judged by the *measured
 post-reconstruction loss* at each edgeserver: the fraction of packets that no
 reflector path delivered in time.  This subpackage simulates exactly that
-process, packet by packet, for any :class:`repro.core.OverlaySolution`:
+process for any :class:`repro.core.OverlaySolution`:
 
-* :mod:`repro.simulation.packets` -- packet-session bookkeeping;
+* :mod:`repro.simulation.packets` -- packet-session bookkeeping and windowed
+  loss statistics (vectorized ``reduceat`` folds);
 * :mod:`repro.simulation.transport` -- per-link loss sampling and two-hop
   delivery masks (vectorised with numpy);
 * :mod:`repro.simulation.reconstruction` -- the edgeserver's duplicate
   suppression / hole filling (a packet survives if *any* copy arrives);
-* :mod:`repro.simulation.failures` -- injected events (ISP outages, reflector
-  crashes) over packet-index windows;
-* :mod:`repro.simulation.engine` -- the driver producing per-demand loss
-  statistics and threshold verdicts.
+* :mod:`repro.simulation.failures` -- injected events (ISP outages, node and
+  regional failures, congestion) plus correlated failure samplers;
+* :mod:`repro.simulation.engine` -- the legacy per-demand driver
+  (:func:`simulate_solution`), one session at a time;
+* :mod:`repro.simulation.montecarlo` -- the batched Monte-Carlo engine
+  (:func:`run_monte_carlo`): all demands x all trials as numpy arrays, with a
+  bit-compatible ``rng_mode="compat"`` anchored to the legacy engine;
+* :mod:`repro.simulation.scenarios` -- the registered failure-scenario
+  catalogue (:func:`evaluate_design` sweeps a design across it).
 
-The engine is the empirical cross-check for the analytic reliability claims
-(tests compare simulated loss with the exact formula) and the workhorse of
-the C1/T6 benchmarks and the failure-resilience example.
+The engines are the empirical cross-check for the analytic reliability claims
+and the workhorse of the C1/T6/R1/R2 benchmarks; see ``docs/simulation.md``
+for the design and the RNG/determinism contract.
 """
 
 from repro.simulation.engine import SimulationConfig, SimulationReport, simulate_solution
-from repro.simulation.failures import FailureEvent, FailureSchedule
+from repro.simulation.failures import (
+    FailureEvent,
+    FailureSchedule,
+    sample_flash_crowd_congestion,
+    sample_isp_outage_schedule,
+    sample_regional_outage_schedule,
+)
+from repro.simulation.montecarlo import (
+    DemandReliability,
+    MonteCarloConfig,
+    MonteCarloReport,
+    PathTable,
+    compile_path_table,
+    run_monte_carlo,
+)
 from repro.simulation.packets import StreamSession
 from repro.simulation.reconstruction import post_reconstruction_loss, reconstruct
+from repro.simulation.scenarios import (
+    FailureScenario,
+    ScenarioContext,
+    ScenarioRealization,
+    evaluate_design,
+    failure_scenario_names,
+    get_failure_scenario,
+    realize_scenario,
+    register_failure_scenario,
+)
 from repro.simulation.transport import simulate_demand_paths, simulate_link_losses
 
 __all__ = [
+    "DemandReliability",
     "FailureEvent",
+    "FailureScenario",
     "FailureSchedule",
+    "MonteCarloConfig",
+    "MonteCarloReport",
+    "PathTable",
+    "ScenarioContext",
+    "ScenarioRealization",
     "SimulationConfig",
     "SimulationReport",
     "StreamSession",
+    "compile_path_table",
+    "evaluate_design",
+    "failure_scenario_names",
+    "get_failure_scenario",
     "post_reconstruction_loss",
+    "realize_scenario",
     "reconstruct",
+    "register_failure_scenario",
+    "run_monte_carlo",
+    "sample_flash_crowd_congestion",
+    "sample_isp_outage_schedule",
+    "sample_regional_outage_schedule",
     "simulate_demand_paths",
     "simulate_link_losses",
     "simulate_solution",

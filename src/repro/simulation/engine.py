@@ -131,6 +131,8 @@ def simulate_solution(
         rng = np.random.default_rng(config.seed)
     if node_isp is None:
         node_isp = {r: problem.color(r) for r in problem.reflectors}
+    # Reject events that could never fire in this session (silent no-ops).
+    config.failures.validate_for_session(config.num_packets)
 
     # Simulate stream by stream so the source->reflector draws are shared.
     per_demand_paths: dict[tuple[str, str], dict[str, np.ndarray]] = {}

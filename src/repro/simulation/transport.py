@@ -26,12 +26,28 @@ def simulate_link_losses(
     loss_model: LossModel | None = None,
     link: tuple[str, str] | None = None,
     outage_mask: np.ndarray | None = None,
+    loss_profile: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Sample the boolean *lost* mask for one link, applying an outage mask."""
+    """Sample the boolean *lost* mask for one link.
+
+    ``outage_mask`` forces loss on the masked packets; ``loss_profile`` is the
+    general form (per-packet forced loss probability from
+    :meth:`~repro.simulation.failures.FailureSchedule.link_loss_profile`):
+    entries at 1.0 force loss outright, fractional entries (congestion events)
+    drop an extra draw of packets.  The congestion draw only happens when a
+    fractional entry is present, so schedules without congestion consume the
+    exact same random stream as before the profile existed.
+    """
     model = loss_model or BernoulliLossModel()
     lost = model.sample_losses(loss_probability, num_packets, rng, link=link)
     if outage_mask is not None:
         lost = lost | np.asarray(outage_mask, dtype=bool)
+    if loss_profile is not None:
+        profile = np.asarray(loss_profile, dtype=np.float64)
+        hard = profile >= 1.0
+        if bool(np.any((profile > 0.0) & ~hard)):
+            lost = lost | (rng.random(num_packets) < np.where(hard, 0.0, profile))
+        lost = lost | hard
     return lost
 
 
@@ -65,14 +81,14 @@ def simulate_stream_transport(
     reflector_lost: dict[str, np.ndarray] = {}
     for reflector in sorted(used_reflectors):
         edge = problem.stream_edge(stream, reflector)
-        outage = failures.link_outage_mask(stream, reflector, num_packets, node_isp)
+        profile = failures.link_loss_profile(stream, reflector, num_packets, node_isp)
         reflector_lost[reflector] = simulate_link_losses(
             edge.loss_probability,
             num_packets,
             rng,
             loss_model,
             link=(stream, reflector),
-            outage_mask=outage,
+            loss_profile=profile,
         )
 
     # Reflector -> sink legs, per demand.
@@ -83,7 +99,7 @@ def simulate_stream_transport(
         per_path: dict[str, np.ndarray] = {}
         for reflector in solution.reflectors_serving(demand):
             delivery_loss = problem.delivery_loss(reflector, demand.sink)
-            outage = failures.link_outage_mask(
+            profile = failures.link_loss_profile(
                 reflector, demand.sink, num_packets, node_isp
             )
             lost_second_hop = simulate_link_losses(
@@ -92,7 +108,7 @@ def simulate_stream_transport(
                 rng,
                 loss_model,
                 link=(reflector, demand.sink),
-                outage_mask=outage,
+                loss_profile=profile,
             )
             received = ~reflector_lost[reflector] & ~lost_second_hop
             per_path[reflector] = received

@@ -1,15 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite + hypothesis profiles.
+
+Hypothesis profiles: ``ci`` is fully derandomized (example selection derives
+from each test's source), so property failures reproduce exactly across runs
+and machines; ``dev`` keeps random exploration for local runs.  CI loads the
+``ci`` profile (the workflow exports ``HYPOTHESIS_PROFILE=ci``; a bare ``CI``
+environment variable works too).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.problem import OverlayDesignProblem
 from repro.workloads.random_instances import RandomInstanceConfig, random_problem
 from repro.workloads.tiny import build_tiny_problem
 
 __all__ = ["build_tiny_problem"]
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)
 
 
 @pytest.fixture

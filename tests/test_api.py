@@ -338,6 +338,95 @@ class TestBatch:
             load_requests_jsonl(path)
 
 
+class TestEvaluation:
+    """DesignRequest.evaluation: Monte-Carlo sweeps attached to results."""
+
+    SPEC = dict(scenarios=("baseline", "flash-crowd"), trials=4, num_packets=200, window=40)
+
+    def test_design_attaches_evaluation(self, tiny_problem):
+        from repro.api import EvaluationSpec
+
+        request = DesignRequest(
+            problem=tiny_problem,
+            strategy="greedy",
+            evaluation=EvaluationSpec(**self.SPEC),
+        )
+        result = get_designer("greedy").design(request)
+        assert sorted(result.evaluation) == ["baseline", "flash-crowd"]
+        for metrics in result.evaluation.values():
+            assert 0.0 <= metrics["mean_loss"] <= 1.0
+            assert metrics["trials"] == 4
+
+    def test_no_spec_no_evaluation(self, tiny_problem):
+        result = get_designer("greedy").design(DesignRequest(problem=tiny_problem))
+        assert result.evaluation is None
+
+    def test_bound_only_strategy_skips_evaluation(self, tiny_problem):
+        from repro.api import EvaluationSpec
+
+        request = DesignRequest(
+            problem=tiny_problem,
+            strategy="lp-bound",
+            evaluation=EvaluationSpec(**self.SPEC),
+        )
+        result = get_designer("lp-bound").design(request)
+        assert result.evaluation is None
+
+    def test_evaluation_deterministic(self, tiny_problem):
+        from repro.api import EvaluationSpec
+
+        results = [
+            get_designer("greedy")
+            .design(
+                DesignRequest(
+                    problem=tiny_problem,
+                    strategy="greedy",
+                    evaluation=EvaluationSpec(**self.SPEC, seed=5),
+                )
+            )
+            .evaluation
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_spec_validation(self):
+        from repro.api import EvaluationSpec
+
+        with pytest.raises(ValueError):
+            EvaluationSpec(trials=0)
+        with pytest.raises(ValueError):
+            EvaluationSpec(num_packets=0)
+        with pytest.raises(ValueError):
+            EvaluationSpec(window=0)
+        # Lists normalize to tuples so specs stay hashable-friendly/JSON-safe.
+        assert EvaluationSpec(scenarios=["baseline"]).scenarios == ("baseline",)
+
+    def test_request_round_trip_with_evaluation(self, tiny_problem):
+        from repro.api import EvaluationSpec
+
+        request = DesignRequest(
+            problem=tiny_problem,
+            strategy="greedy",
+            evaluation=EvaluationSpec(scenarios="all", trials=7, seed=3),
+        )
+        restored = request_from_dict(request_to_dict(request))
+        assert restored.evaluation == request.evaluation
+        bare = request_from_dict(request_to_dict(DesignRequest(problem=tiny_problem)))
+        assert bare.evaluation is None
+
+    def test_result_round_trip_with_evaluation(self, tiny_problem):
+        from repro.api import EvaluationSpec
+
+        request = DesignRequest(
+            problem=tiny_problem,
+            strategy="greedy",
+            evaluation=EvaluationSpec(**self.SPEC),
+        )
+        result = get_designer("greedy").design(request)
+        restored = result_from_dict(result_to_dict(result), tiny_problem)
+        assert restored.evaluation == result.evaluation
+
+
 def test_api_surface_snapshot():
     """Pin ``repro.__all__``: additions are deliberate, removals are breaking."""
     assert sorted(repro.__all__) == sorted(
@@ -350,7 +439,9 @@ def test_api_surface_snapshot():
             "DesignReport",
             "DesignRequest",
             "DesignResult",
+            "EvaluationSpec",
             "ExtensionOptions",
+            "MonteCarloConfig",
             "OverlayDesignProblem",
             "OverlaySolution",
             "RoundingParameters",
@@ -361,10 +452,13 @@ def test_api_surface_snapshot():
             "design_overlay",
             "design_overlay_extended",
             "designer_names",
+            "evaluate_design",
             "fractional_lower_bound",
             "get_designer",
             "register_designer",
             "repair_weight_shortfalls",
+            "run_monte_carlo",
+            "simulate_solution",
             "__version__",
         ]
     )

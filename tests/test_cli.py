@@ -221,6 +221,185 @@ class TestBatch:
         assert "cannot read requests" in capsys.readouterr().err
 
 
+@pytest.fixture
+def solution_file(problem_file, tmp_path):
+    from repro.api import DesignRequest, get_designer
+    from repro.core.serialization import dump_solution
+
+    problem = load_problem(problem_file)
+    solution = get_designer("greedy").design(DesignRequest(problem=problem)).solution
+    path = tmp_path / "solution.json"
+    dump_solution(solution, str(path))
+    return str(path)
+
+
+class TestSimulateMonteCarlo:
+    def test_list_scenarios(self, capsys):
+        assert main(["simulate", "--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("baseline", "isp-outage", "regional-failure", "flash-crowd", "bursty-links"):
+            assert name in output
+
+    def test_trials_switch_to_vectorized_engine(self, problem_file, solution_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--packets",
+                "400",
+                "--trials",
+                "8",
+                "--window",
+                "80",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Monte-Carlo simulation (8 trials x 400 packets)" in output
+        assert "mean_loss" in output and "95% CI" in output
+
+    def test_compat_engine_matches_legacy_output(self, problem_file, solution_file, capsys):
+        args = [
+            "simulate",
+            "--problem",
+            problem_file,
+            "--solution",
+            solution_file,
+            "--packets",
+            "500",
+            "--seed",
+            "4",
+        ]
+        assert main(args) == 0
+        legacy = capsys.readouterr().out
+        assert main(args + ["--engine", "compat", "--window", "500"]) == 0
+        compat = capsys.readouterr().out
+        # Same seed, same draw order: the measured numbers agree exactly.
+        def mean_loss(text):
+            line = next(ln for ln in text.splitlines() if ln.startswith("mean loss"))
+            return line.split()[2].rstrip(";")
+
+        assert mean_loss(legacy) == mean_loss(compat)
+
+    def test_legacy_engine_rejects_multiple_trials(self, problem_file, solution_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--trials",
+                "4",
+                "--engine",
+                "legacy",
+            ]
+        )
+        assert code == 2
+        assert "single trial" in capsys.readouterr().err
+
+    def test_scenario_sweep(self, problem_file, solution_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--packets",
+                "300",
+                "--trials",
+                "4",
+                "--window",
+                "40",
+                "--scenario",
+                "baseline,flash-crowd",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "reliability sweep" in output
+        assert "flash-crowd" in output and "baseline" in output
+
+    def test_scenario_sweep_parallel_matches_serial(
+        self, problem_file, solution_file, capsys
+    ):
+        args = [
+            "simulate",
+            "--problem",
+            problem_file,
+            "--solution",
+            solution_file,
+            "--packets",
+            "200",
+            "--trials",
+            "3",
+            "--window",
+            "40",
+            "--scenario",
+            "all",
+        ]
+        assert main(args + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Deterministic given the seed, independent of --jobs (title aside).
+        assert serial.splitlines()[2:] == parallel.splitlines()[2:]
+
+    def test_unknown_scenario_errors(self, problem_file, solution_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--scenario",
+                "nope",
+            ]
+        )
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_simulate_requires_files(self, capsys):
+        assert main(["simulate"]) == 2
+        assert "--problem and --solution" in capsys.readouterr().err
+
+
+class TestBenchSuites:
+    def test_unknown_suite_lists_tags(self, capsys):
+        assert main(["bench", "--suite", "bogus", "--out", "/tmp/ignored"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown suite" in err and "reliability" in err
+
+    def test_list_shows_reliability_tag(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "r1" in output and "r2" in output and "reliability" in output
+
+    def test_reliability_suite_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "reliability",
+                "--smoke",
+                "--out",
+                str(tmp_path),
+                "--master-seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "R1" in output and "R2" in output
+        assert (tmp_path / "BENCH_R1.json").exists()
+        assert (tmp_path / "BENCH_R2.json").exists()
+
+
 class TestParser:
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,294 @@
+"""The batched Monte-Carlo engine: unit, compat and differential tests.
+
+The differential tests are the engine's correctness anchor:
+
+* ``compat`` RNG mode must be *bit-identical* to consecutive
+  :func:`repro.simulation.simulate_solution` calls on the same generator;
+* the batched mode must be *statistically equivalent* to the legacy engine on
+  seeded workloads -- per-demand means inside joint confidence bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy_design
+from repro.core.solution import OverlaySolution
+from repro.network.loss import GilbertElliottLossModel
+from repro.simulation import (
+    FailureEvent,
+    FailureSchedule,
+    MonteCarloConfig,
+    SimulationConfig,
+    compile_path_table,
+    run_monte_carlo,
+    simulate_solution,
+)
+from repro.simulation.montecarlo import _window_counts_packed
+from repro.simulation.packets import windowed_loss_matrix
+from repro.workloads import RandomInstanceConfig, random_problem
+
+
+def _workload(seed: int):
+    problem = random_problem(
+        RandomInstanceConfig(num_streams=2, num_reflectors=6, num_sinks=6), rng=seed
+    )
+    return problem, greedy_design(problem)
+
+
+def _assert_reports_identical(legacy, projected):
+    for a, b in zip(legacy.demands, projected.demands):
+        assert a.demand_key == b.demand_key
+        assert a.paths == b.paths
+        assert a.loss_rate == b.loss_rate
+        assert a.worst_window_loss == b.worst_window_loss
+        assert a.duplicates_discarded == b.duplicates_discarded
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloConfig(num_packets=0)
+        with pytest.raises(ValueError):
+            MonteCarloConfig(trials=0)
+        with pytest.raises(ValueError):
+            MonteCarloConfig(window=0)
+        with pytest.raises(ValueError):
+            MonteCarloConfig(rng_mode="fast")
+        with pytest.raises(ValueError):
+            MonteCarloConfig(max_batch_bytes=0)
+
+
+class TestPathTable:
+    def test_structure(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        table = compile_path_table(tiny_problem, solution, FailureSchedule(), 100, {})
+        assert table.demand_keys == [("d1", "s"), ("d2", "s")]
+        assert table.demand_num_paths.tolist() == [2, 1]
+        assert table.demand_path_starts.tolist() == [0, 2]
+        assert table.num_paths == 3
+        # r1 serves both demands through one shared first-hop draw.
+        assert table.num_first_hops == 2
+        assert table.path_first_hop.tolist()[0] == table.path_first_hop.tolist()[2]
+
+    def test_unserved_demand_excluded_from_table(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r1"]})
+        table = compile_path_table(tiny_problem, solution, FailureSchedule(), 100, {})
+        assert table.demand_keys == [("d1", "s")]
+
+
+class TestCompatMode:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bit_identical_to_legacy_engine(self, seed):
+        """Ten seeded workloads: compat trials replay the legacy draws exactly."""
+        problem, solution = _workload(seed)
+        shared = np.random.default_rng(seed)
+        legacy_config = SimulationConfig(num_packets=600, window=64)
+        legacy = [
+            simulate_solution(problem, solution, legacy_config, rng=shared)
+            for _ in range(2)
+        ]
+        report = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(num_packets=600, trials=2, window=64, rng_mode="compat"),
+            rng=np.random.default_rng(seed),
+        )
+        for trial, reference in enumerate(legacy):
+            _assert_reports_identical(reference, report.to_simulation_report(trial))
+
+    def test_compat_with_failures_and_congestion(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r3"]}
+        )
+        schedule = FailureSchedule(
+            [
+                FailureEvent("reflector_crash", "r1", 100, 300),
+                FailureEvent("link_congestion", "d1", 200, 500, severity=0.4),
+            ]
+        )
+        config = SimulationConfig(num_packets=800, window=100, failures=schedule)
+        legacy = simulate_solution(
+            tiny_problem, solution, config, rng=np.random.default_rng(11)
+        )
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(
+                num_packets=800, trials=1, window=100, failures=schedule, rng_mode="compat"
+            ),
+            rng=np.random.default_rng(11),
+        )
+        _assert_reports_identical(legacy, report.to_simulation_report(0))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batched_mean_matches_legacy(self, seed):
+        """Ten seeded workloads: batched vs legacy per-demand means within CI."""
+        problem, solution = _workload(seed)
+        trials, legacy_runs, packets = 120, 30, 500
+        report = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(num_packets=packets, trials=trials, window=100, seed=seed),
+        )
+        rng = np.random.default_rng(seed + 1000)
+        config = SimulationConfig(num_packets=packets, window=100)
+        legacy_losses: dict = {d.key: [] for d in problem.demands}
+        for _ in range(legacy_runs):
+            run = simulate_solution(problem, solution, config, rng=rng)
+            for row in run.demands:
+                legacy_losses[row.demand_key].append(row.loss_rate)
+        for demand in problem.demands:
+            batched = report.result_for(demand.key)
+            legacy = np.asarray(legacy_losses[demand.key])
+            joint_se = np.sqrt(
+                batched.loss_std**2 / trials + legacy.var(ddof=1) / legacy_runs
+            )
+            # 5 sigma + a floor for near-zero variance cells; with ~60
+            # demand-cells per run a 4-sigma bound would flake.
+            tolerance = 5.0 * joint_se + 3.0 / packets
+            assert abs(batched.mean_loss - legacy.mean()) <= tolerance, demand.key
+
+    def test_batched_mean_matches_analytic(self):
+        problem, solution = _workload(3)
+        trials = 300
+        report = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(num_packets=1000, trials=trials, window=100, seed=0),
+        )
+        for demand in problem.demands:
+            result = report.result_for(demand.key)
+            if result.paths == 0:
+                assert result.mean_loss == 1.0
+                continue
+            analytic = solution.failure_probability(demand)
+            se = max(result.loss_std / np.sqrt(trials), 1e-5)
+            assert abs(result.mean_loss - analytic) <= 5.0 * se + 1e-3
+
+    def test_differential_under_failure_schedule(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        schedule = FailureSchedule([FailureEvent("reflector_crash", "r1", 0, 400)])
+        trials, legacy_runs, packets = 150, 40, 800
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(
+                num_packets=packets, trials=trials, window=100, failures=schedule, seed=2
+            ),
+        )
+        rng = np.random.default_rng(5)
+        config = SimulationConfig(num_packets=packets, window=100, failures=schedule)
+        legacy = [
+            simulate_solution(tiny_problem, solution, config, rng=rng).mean_loss
+            for _ in range(legacy_runs)
+        ]
+        joint_se = np.sqrt(
+            np.var(report.trial_mean_loss, ddof=1) / trials
+            + np.var(legacy, ddof=1) / legacy_runs
+        )
+        assert abs(report.mean_loss - np.mean(legacy)) <= 5.0 * joint_se + 1e-3
+        # The crash covers half the session, so the worst window saturates.
+        assert report.result_for(("d2", "s")).worst_window.max() == pytest.approx(1.0)
+
+    def test_gilbert_elliott_dense_fallback(self, tiny_problem):
+        """Non-Bernoulli models route through the packed dense fallback."""
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1", "r3"]}
+        )
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(
+                num_packets=2000,
+                trials=60,
+                window=200,
+                loss_model=GilbertElliottLossModel(),
+                seed=4,
+            ),
+        )
+        for demand in tiny_problem.demands:
+            analytic = solution.failure_probability(demand)
+            result = report.result_for(demand.key)
+            assert result.mean_loss == pytest.approx(analytic, abs=0.02)
+
+
+class TestEngineBehaviour:
+    def test_unserved_demand_loses_everything(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r1"]})
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(num_packets=200, trials=4, window=40, seed=0),
+        )
+        missing = report.result_for(("d2", "s"))
+        assert missing.paths == 0
+        assert missing.loss.tolist() == [1.0] * 4
+        assert missing.worst_window.tolist() == [1.0] * 4
+        assert not report.to_simulation_report(0).result_for(("d2", "s")).meets_threshold
+
+    def test_determinism_and_chunking(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        config = dict(num_packets=500, trials=16, window=56, seed=9)
+        a = run_monte_carlo(tiny_problem, solution, MonteCarloConfig(**config))
+        b = run_monte_carlo(tiny_problem, solution, MonteCarloConfig(**config))
+        assert np.array_equal(a.loss_matrix, b.loss_matrix)
+        # A tiny batch budget forces many chunks; results stay valid (but are
+        # a different random stream -- chunk layout is part of the contract).
+        tiny_batches = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(**config, max_batch_bytes=10_000),
+        )
+        assert tiny_batches.loss_matrix.shape == a.loss_matrix.shape
+        assert 0.0 <= tiny_batches.mean_loss <= 1.0
+
+    def test_report_accessors(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(num_packets=400, trials=8, window=80, seed=1),
+        )
+        assert report.loss_matrix.shape == (2, 8)
+        assert report.trial_mean_loss.shape == (8,)
+        assert 0.0 <= report.mean_loss <= report.max_loss <= 1.0
+        assert report.mean_loss_ci_halfwidth >= 0.0
+        summary = report.summary()
+        assert summary["trials"] == 8 and summary["num_demands"] == 2
+        with pytest.raises(KeyError):
+            report.result_for(("missing", "s"))
+        with pytest.raises(IndexError):
+            report.to_simulation_report(8)
+
+    def test_window_counts_packed_matches_unpacked(self):
+        rng = np.random.default_rng(0)
+        for packets, window in ((256, 64), (250, 64), (250, 60), (100, 8), (97, 16)):
+            lost = rng.random((3, 5, packets)) < 0.2
+            packed = np.packbits(lost, axis=-1, bitorder="little")
+            counts = _window_counts_packed(packed, packets, window)
+            expected = windowed_loss_matrix(lost, window)
+            sizes = np.diff(
+                np.append(np.arange(0, packets, window), packets)
+            )
+            assert np.array_equal(counts, (expected * sizes).round().astype(np.int64))
+
+    def test_non_byte_aligned_window(self, tiny_problem):
+        solution = OverlaySolution.from_assignments(tiny_problem, {("d1", "s"): ["r1"]})
+        report = run_monte_carlo(
+            tiny_problem,
+            solution,
+            MonteCarloConfig(num_packets=500, trials=6, window=125, seed=3),
+        )
+        assert (report.result_for(("d1", "s")).worst_window <= 1.0).all()
