@@ -1,0 +1,22 @@
+"""Experiment T8 -- hierarchical sharded pipeline vs monolithic design.
+
+Scenario ``t8`` designs an internet-scale instance
+(:mod:`repro.workloads.internet_scale`) twice -- once monolithically through
+the ``spaa03`` pipeline and once through the ``sharded:spaa03`` pipeline of
+:mod:`repro.scale` (partition -> per-shard design -> stitch) -- and gates the
+sharded design on cost parity (<= 1.15x the monolithic cost), zero unserved
+demands, the paper's weight/fanout guarantees, and, at full size (10k sinks),
+a >= 4x wall-clock speedup.  ``REPRO_BENCH_SMOKE=1`` shrinks the instance to
+CI size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_t8_sharded_pipeline_cost_parity_and_speedup():
+    record = run_and_record("t8")
+    for row in record.rows:
+        assert row["sharded_unserved"] == 0
+        assert row["sharded_vs_monolithic_cost_ratio"] <= 1.15 + 1e-9

@@ -113,6 +113,7 @@ def tiny_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="tiny",
+        suites=("paper",),
         title="Full pipeline on the tiny 3-reflector instance (seed sweep)",
         task_fn=tiny_task,
         make_tasks=tiny_tasks,
@@ -181,6 +182,7 @@ def t1_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t1",
+        suites=("paper",),
         title="Lemma 4.1 reproduction: cost ratio vs the c log n bound (c = 8)",
         task_fn=t1_task,
         make_tasks=t1_tasks,
@@ -259,6 +261,7 @@ def t2_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t2",
+        suites=("paper",),
         title="Lemma 4.3 reproduction: weight retention after randomized rounding",
         task_fn=t2_task,
         make_tasks=t2_tasks,
@@ -335,6 +338,7 @@ def t3_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t3",
+        suites=("paper",),
         title="Lemma 4.6 / Section 5 reproduction: fanout violation factors",
         task_fn=t3_task,
         make_tasks=t3_tasks,
@@ -443,6 +447,7 @@ def t4_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t4",
+        suites=("paper",),
         title="Section 5 reproduction: delivered weight vs the W/4 guarantee",
         task_fn=t4_task,
         make_tasks=t4_tasks,
@@ -525,6 +530,7 @@ def t5_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t5",
+        suites=("paper",),
         title="Section 5.1 reproduction: pipeline scaling with |S|*|R|*n "
         "(build vs solve breakdown)",
         task_fn=t5_task,
@@ -646,6 +652,7 @@ def t5_sparse_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t5_sparse",
+        suites=("perf",),
         title="Sparse vs expression-tree LP assembly (akamai-like instance)",
         task_fn=t5_sparse_task,
         make_tasks=t5_sparse_tasks,
@@ -756,6 +763,7 @@ def t6_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t6",
+        suites=("paper",),
         title="Sections 6.4/6.5 reproduction: color constraints and ISP-outage resilience",
         task_fn=t6_task,
         make_tasks=t6_tasks,
@@ -835,6 +843,7 @@ def t7_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="t7",
+        suites=("paper",),
         title="Appendix A reproduction: empirical tails vs Hoeffding-Chernoff bounds",
         task_fn=t7_task,
         make_tasks=t7_tasks,
@@ -955,6 +964,7 @@ def c1_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="c1",
+        suites=("comparison",),
         title="C1: LP-rounding design vs baselines on the flash-crowd workload",
         task_fn=c1_task,
         make_tasks=c1_tasks,
@@ -1061,6 +1071,7 @@ def c2_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="c2",
+        suites=("comparison",),
         title="C2: ablations of multiplier, cutting plane and box rule",
         task_fn=c2_task,
         make_tasks=c2_tasks,
@@ -1490,6 +1501,7 @@ def f1_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="f1",
+        suites=("figures",),
         title="Figure 1 reproduction: 3-level overlay instances",
         task_fn=f1_task,
         make_tasks=f1_tasks,
@@ -1578,6 +1590,7 @@ def f2_validate(record: BenchRecord) -> list[str]:
 register_scenario(
     ScenarioSpec(
         scenario_id="f2",
+        suites=("figures",),
         title="Figure 2 reproduction: GAP conversion network",
         task_fn=f2_task,
         make_tasks=f2_tasks,
@@ -1698,9 +1711,159 @@ def f3_validate(record: BenchRecord) -> list[str]:
     return failures
 
 
+# ---------------------------------------------------------------------------
+# T8 -- sharded vs monolithic design on internet-scale instances
+# ---------------------------------------------------------------------------
+
+
+def t8_task(task: dict) -> dict:
+    from repro.workloads.internet_scale import (
+        InternetScaleConfig,
+        generate_internet_scale_problem,
+    )
+
+    problem, _registry = generate_internet_scale_problem(
+        InternetScaleConfig(num_sinks=task["sinks"]), rng=task["rng"]
+    )
+    parameters = DesignParameters(seed=task["seed"], repair_shortfall=True)
+
+    start = time.perf_counter()
+    monolithic = get_designer("spaa03").design(
+        DesignRequest(problem=problem, parameters=parameters)
+    )
+    monolithic_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = get_designer("sharded:spaa03").design(
+        DesignRequest(
+            problem=problem,
+            strategy="sharded:spaa03",
+            parameters=parameters,
+            options={"shards": task["shards"], "jobs": task["jobs"]},
+        )
+    )
+    sharded_seconds = time.perf_counter() - start
+
+    return {
+        "sinks": problem.num_sinks,
+        "demands": problem.num_demands,
+        "reflectors": problem.num_reflectors,
+        "num_shards": sharded.metadata["num_shards"],
+        "jobs": task["jobs"],
+        "monolithic_cost": monolithic.total_cost,
+        "sharded_cost": sharded.total_cost,
+        "sharded_vs_monolithic_cost_ratio": sharded.total_cost
+        / max(monolithic.total_cost, 1e-9),
+        "monolithic_unserved": monolithic.audit.unserved_demands,
+        "sharded_unserved": sharded.audit.unserved_demands,
+        "monolithic_min_weight_fraction": monolithic.audit.min_weight_fraction,
+        "sharded_min_weight_fraction": sharded.audit.min_weight_fraction,
+        "sharded_max_fanout_factor": sharded.audit.max_fanout_factor,
+        "stitch_dropped": sharded.metadata["stitch_assignments_dropped"],
+        "stitch_moved": sharded.metadata["stitch_assignments_moved"],
+        "stitch_unresolved_overloads": sharded.metadata["stitch_unresolved_overloads"],
+        "monolithic_seconds": monolithic_seconds,
+        "sharded_seconds": sharded_seconds,
+        # Wall-clock-derived; deliberately NOT a comparable metric (like the
+        # R1 engine speedup, it is gated by validate, not by the baseline).
+        "speedup_vs_monolithic": monolithic_seconds / max(sharded_seconds, 1e-9),
+    }
+
+
+def t8_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    # One task: the monolithic side of the full run takes ~an hour at 10k
+    # sinks (the GAP stage is superlinear), which is exactly the point of the
+    # comparison.  The smoke tier keeps CI minutes low while still exercising
+    # partition -> fan-out -> stitch end to end.
+    return [
+        {
+            "sinks": 600 if smoke else 10_000,
+            "rng": 0,
+            "seed": master_seed,
+            "shards": "auto",
+            "jobs": "auto",
+        }
+    ]
+
+
+def t8_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["sharded_vs_monolithic_cost_ratio"] > 1.15 + 1e-9:
+            failures.append(
+                f"{row['sinks']} sinks: sharded design costs "
+                f"{row['sharded_vs_monolithic_cost_ratio']:.3f}x the monolithic "
+                "design (<= 1.15 required)"
+            )
+        if row["sharded_unserved"] != 0:
+            failures.append(
+                f"{row['sinks']} sinks: {row['sharded_unserved']} demands "
+                "unserved after stitching"
+            )
+        if row["sharded_min_weight_fraction"] < 0.25 - 1e-9:
+            failures.append(
+                f"{row['sinks']} sinks: sharded min weight fraction "
+                f"{row['sharded_min_weight_fraction']:.3f} below the W/4 guarantee"
+            )
+        if row["sharded_max_fanout_factor"] > 4.0 + 1e-9:
+            failures.append(
+                f"{row['sinks']} sinks: sharded max fanout factor "
+                f"{row['sharded_max_fanout_factor']:.3f} above the factor-4 bound"
+            )
+        # The wall-clock gate only applies to the full-size run: at smoke
+        # sizes the monolithic pipeline is itself fast enough that process
+        # startup noise dominates the ratio.
+        if not record.smoke and row["speedup_vs_monolithic"] < 4.0:
+            failures.append(
+                f"{row['sinks']} sinks: sharded pipeline only "
+                f"{row['speedup_vs_monolithic']:.1f}x faster than monolithic "
+                "(>= 4x required at full size)"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="t8",
+        suites=("scale", "perf"),
+        title="T8: hierarchical sharded pipeline vs monolithic design "
+        "(internet-scale workload)",
+        task_fn=t8_task,
+        make_tasks=t8_tasks,
+        policies={
+            "monolithic_cost": MetricPolicy("lower", rel_tol=0.05),
+            "sharded_cost": MetricPolicy("lower", rel_tol=0.05),
+            "sharded_vs_monolithic_cost_ratio": MetricPolicy("lower", abs_tol=0.05),
+            "monolithic_unserved": MetricPolicy("equal", rel_tol=0.0),
+            "sharded_unserved": MetricPolicy("equal", rel_tol=0.0),
+            "sharded_min_weight_fraction": MetricPolicy("higher", abs_tol=0.05),
+            "sharded_max_fanout_factor": MetricPolicy("lower", abs_tol=0.25),
+        },
+        validate=t8_validate,
+        artifact="T8_sharded_scale",
+        columns=[
+            "sinks",
+            "demands",
+            "num_shards",
+            "monolithic_cost",
+            "sharded_cost",
+            "sharded_vs_monolithic_cost_ratio",
+            "sharded_unserved",
+            "sharded_max_fanout_factor",
+            "monolithic_seconds",
+            "sharded_seconds",
+            "speedup_vs_monolithic",
+        ],
+        description="Cost parity (<= 1.15x) and wall-clock speedup (>= 4x full "
+        "size) of the partition -> per-shard design -> stitch pipeline.",
+    )
+)
+
+
 register_scenario(
     ScenarioSpec(
         scenario_id="f3",
+        suites=("figures",),
         title="Figure 3 reproduction: integral 3 vs fractional 3.5",
         task_fn=f3_task,
         make_tasks=f3_tasks,

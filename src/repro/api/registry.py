@@ -104,6 +104,11 @@ class RegisteredDesigner:
 #: Registration-ordered registry (insertion order is the presentation order).
 _REGISTRY: dict[str, RegisteredDesigner] = {}
 
+#: Dynamically materialised ``"sharded:<inner>"`` designers, cached per name.
+#: Kept out of ``_REGISTRY`` so the stable strategy catalogue (names, order,
+#: comparison membership) is unaffected by which sharded variants were used.
+_SHARDED_CACHE: dict[str, RegisteredDesigner] = {}
+
 
 def register_designer(
     name: str,
@@ -128,19 +133,39 @@ def register_designer(
             in_comparisons=in_comparisons,
             produces_solution=produces_solution,
         )
+        # A cached sharded wrapper closes over the inner designer; drop it so
+        # re-registration (reloads, test doubles) wins there too.
+        _SHARDED_CACHE.pop(f"sharded:{name}", None)
         return run
 
     return decorate
 
 
 def get_designer(name: str) -> RegisteredDesigner:
-    """Resolve a registered strategy by name (raises ``KeyError`` when unknown)."""
+    """Resolve a strategy by name (raises ``KeyError`` when unknown).
+
+    Besides the registered catalogue, ``"sharded:<strategy>"`` names resolve
+    to the hierarchical sharded pipeline of :mod:`repro.scale` wrapped around
+    the named inner strategy (``ValueError`` for bound-only inner strategies,
+    which have no design to shard).
+    """
     _ensure_designers_loaded()
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(_REGISTRY)
-        raise KeyError(f"unknown designer {name!r} (known: {known})") from None
+        pass
+    if name.startswith("sharded:"):
+        if name not in _SHARDED_CACHE:
+            # Lazy import: repro.scale depends on this module.
+            from repro.scale.pipeline import make_sharded_designer
+
+            _SHARDED_CACHE[name] = make_sharded_designer(name)
+        return _SHARDED_CACHE[name]
+    known = ", ".join(_REGISTRY)
+    raise KeyError(
+        f"unknown designer {name!r} (known: {known}; any solution-producing "
+        "strategy X is also available as 'sharded:X')"
+    )
 
 
 def designer_names() -> list[str]:

@@ -70,9 +70,11 @@ from repro.simulation import SimulationConfig, simulate_solution
 from repro.workloads import (
     AkamaiLikeConfig,
     FlashCrowdConfig,
+    InternetScaleConfig,
     RandomInstanceConfig,
     generate_akamai_like_topology,
     generate_flash_crowd_scenario,
+    generate_internet_scale_problem,
     random_problem,
 )
 
@@ -84,6 +86,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     elif args.workload == "flash-crowd":
         topology, _registry = generate_flash_crowd_scenario(FlashCrowdConfig(), rng=args.seed)
         problem = topology.to_problem()
+    elif args.workload == "internet-scale":
+        problem, _registry = generate_internet_scale_problem(
+            InternetScaleConfig(num_sinks=args.sinks), rng=args.seed
+        )
     else:  # random
         problem = random_problem(RandomInstanceConfig(), rng=args.seed)
     dump_problem(problem, args.out)
@@ -102,6 +108,10 @@ def _list_strategies() -> int:
         for designer in registered_designers()
     ]
     print(format_table(rows, title="registered design strategies"))
+    print(
+        "\nany solution-producing strategy X is also available as 'sharded:X' "
+        "(hierarchical sharded pipeline; see docs/scaling.md)"
+    )
     return 0
 
 
@@ -125,14 +135,41 @@ def _cmd_design(args: argparse.Namespace) -> int:
     strategy = args.strategy
     if args.isp_diversity and strategy == "spaa03":
         strategy = "spaa03-extended"
+    elif args.isp_diversity and strategy == "sharded:spaa03":
+        # The sharded wrapper inherits the same upgrade: each shard then runs
+        # the Section-6 extended rounding (colors are enforced within shards;
+        # see docs/scaling.md for the cross-shard caveat).
+        strategy = "sharded:spaa03-extended"
     try:
         designer = get_designer(strategy)
-    except KeyError as error:
+    except (KeyError, ValueError) as error:
+        # KeyError: unknown strategy (or unknown sharded: inner strategy);
+        # ValueError: a structurally invalid strategy such as a sharded
+        # wrapper around a bound-only inner strategy.
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    sharded = strategy.startswith("sharded:")
+    sharded_flags = [
+        flag
+        for flag, given in (
+            ("--shards", args.shards is not None),
+            ("--jobs", args.jobs is not None),
+            ("--partitioner", args.partitioner is not None),
+        )
+        if given
+    ]
+    if not sharded and sharded_flags:
+        print(
+            f"error: strategy {strategy!r} ignores {', '.join(sharded_flags)} "
+            "(sharded-pipeline flags); use --strategy sharded:<strategy> to "
+            "shard the design",
+            file=sys.stderr,
+        )
         return 2
     # The baselines only read the request seed; accepting pipeline-only flags
     # for them would silently produce a design without the requested
-    # constraints.
+    # constraints.  For sharded strategies the flags reach the *inner*
+    # designer, so the guard looks through the wrapper.
     pipeline_flags = [
         flag
         for flag, given in (
@@ -142,7 +179,8 @@ def _cmd_design(args: argparse.Namespace) -> int:
         )
         if given
     ]
-    if designer.baseline and pipeline_flags:
+    guard_designer = get_designer(strategy.split(":", 1)[1]) if sharded else designer
+    if guard_designer.baseline and pipeline_flags:
         print(
             f"error: strategy {strategy!r} ignores {', '.join(pipeline_flags)} "
             "(pipeline-only flags); drop them or use a pipeline strategy",
@@ -165,9 +203,21 @@ def _cmd_design(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    options = {}
+    if sharded:
+        options = {
+            "shards": args.shards if args.shards is not None else "auto",
+            "jobs": args.jobs if args.jobs is not None else 1,
+            "partitioner": args.partitioner if args.partitioner is not None else "auto",
+        }
     try:
         result = designer.design(
-            DesignRequest(problem=problem, parameters=parameters, strategy=strategy)
+            DesignRequest(
+                problem=problem,
+                parameters=parameters,
+                strategy=strategy,
+                options=options,
+            )
         )
     except ValueError as error:
         # Typically: the LP (with the requested extensions) is infeasible, e.g.
@@ -479,7 +529,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tags = suite_tags()
         rows = [
             {
-                "suite": sid,
+                "scenario": sid,
                 "tags": ",".join(
                     tag for tag, members in sorted(tags.items()) if sid in members
                 )
@@ -587,8 +637,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic problem instance")
-    generate.add_argument("--workload", choices=["akamai", "flash-crowd", "random"], default="akamai")
+    generate.add_argument(
+        "--workload",
+        choices=["akamai", "flash-crowd", "random", "internet-scale"],
+        default="akamai",
+    )
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--sinks",
+        type=int,
+        default=10_000,
+        help="sink count for --workload internet-scale (default: 10000)",
+    )
     generate.add_argument("--out", required=True, help="output problem JSON path")
     generate.set_defaults(func=_cmd_generate)
 
@@ -609,7 +669,26 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument(
         "--strategy",
         default="spaa03",
-        help="registered design strategy (see --list-strategies; default: spaa03)",
+        help="registered design strategy (see --list-strategies; default: spaa03; "
+        "'sharded:<strategy>' runs the hierarchical sharded pipeline)",
+    )
+    design.add_argument(
+        "--shards",
+        default=None,
+        help="shard count or 'auto' (sharded:<strategy> only; default: auto)",
+    )
+    design.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for per-shard designs: a number or 'auto' "
+        "(sharded:<strategy> only; default: 1)",
+    )
+    design.add_argument(
+        "--partitioner",
+        default=None,
+        choices=["auto", "metro", "isp", "hash"],
+        help="how sinks are grouped into shards (sharded:<strategy> only; "
+        "default: auto)",
     )
     design.add_argument(
         "--list-strategies",

@@ -1,0 +1,73 @@
+"""repro.scale -- the hierarchical sharded design pipeline.
+
+The scaling layer the ROADMAP's internet-scale goal needs: partition a large
+instance into ISP/metro shards, design each shard independently through any
+registered strategy (in parallel, deterministically), then stitch and
+re-audit the merged design.  See ``docs/scaling.md`` for the architecture and
+the determinism contract.
+
+* :mod:`repro.scale.partition` -- pluggable :class:`Partitioner` registry
+  (``metro`` / ``isp`` / ``hash`` / ``auto``), balanced shard planning and
+  self-contained subproblem extraction;
+* :mod:`repro.scale.stitch` -- merge, cross-shard fanout reconciliation,
+  global repair;
+* :mod:`repro.scale.pipeline` -- :func:`design_sharded` and the dynamic
+  ``"sharded:<strategy>"`` designers resolved through
+  :func:`repro.api.get_designer`.
+
+Quick start::
+
+    from repro.api import DesignRequest, get_designer
+
+    result = get_designer("sharded:spaa03").design(
+        DesignRequest(problem=problem, options={"shards": "auto", "jobs": "auto"})
+    )
+"""
+
+from repro.scale.partition import (
+    AUTO_SHARD_CAP,
+    PartitionPlan,
+    Partitioner,
+    Shard,
+    build_partition,
+    extract_shard_problem,
+    get_partitioner,
+    partitioner_names,
+    register_partitioner,
+    resolve_partitioner,
+    resolve_shard_count,
+)
+from repro.scale.pipeline import (
+    SHARDED_PREFIX,
+    design_sharded,
+    make_sharded_designer,
+    shard_seed,
+)
+from repro.scale.stitch import (
+    StitchReport,
+    merge_shard_solutions,
+    rebalance_fanout,
+    stitch_solutions,
+)
+
+__all__ = [
+    "AUTO_SHARD_CAP",
+    "SHARDED_PREFIX",
+    "PartitionPlan",
+    "Partitioner",
+    "Shard",
+    "StitchReport",
+    "build_partition",
+    "design_sharded",
+    "extract_shard_problem",
+    "get_partitioner",
+    "make_sharded_designer",
+    "merge_shard_solutions",
+    "partitioner_names",
+    "rebalance_fanout",
+    "register_partitioner",
+    "resolve_partitioner",
+    "resolve_shard_count",
+    "shard_seed",
+    "stitch_solutions",
+]

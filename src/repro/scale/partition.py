@@ -1,0 +1,375 @@
+"""Partitioning internet-scale instances into ISP/metro shards.
+
+A :class:`Partitioner` groups a problem's *sinks* into named groups; the
+planner coalesces those groups into a target number of balanced shards and
+extracts one self-contained sub-:class:`~repro.core.problem.OverlayDesignProblem`
+per shard.  Each shard contains
+
+* the shard's sinks and their demands (every sink lands in exactly one shard,
+  so the shard demand sets partition ``problem.demands``);
+* *all* candidate reflectors of those demands -- including reflectors whose
+  metro belongs to another shard.  Shards therefore see the full candidate
+  weight their demands have globally (no artificial infeasibility), at the
+  price of possibly over-committing shared reflectors; the stitch stage
+  (:mod:`repro.scale.stitch`) reconciles that.
+
+Built-in partitioners:
+
+``metro``
+    Groups sinks by their co-location prefix (``colo3-edge``,
+    ``metro0042-s17``), the same naming convention
+    :func:`repro.simulation.scenarios.infer_clusters` uses.
+``isp``
+    Groups sinks by the modal ISP *color* of their candidate reflectors
+    (the Section-6.4 metadata carried by :mod:`repro.network.isp`).
+``hash``
+    Singleton groups (one per sink); the coalescing step then deals sinks
+    round-robin into balanced shards.  The content-free fallback.
+``auto``
+    ``metro`` when the naming yields more than one cluster, else ``isp``
+    when colors do, else ``hash``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.problem import OverlayDesignProblem
+
+#: Hard ceiling on ``--shards auto`` (beyond this, per-shard overheads win).
+AUTO_SHARD_CAP = 64
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """A named strategy grouping sinks into labelled clusters."""
+
+    name: str
+    group_sinks: Callable[[OverlayDesignProblem], dict[str, list[str]]]
+    description: str = ""
+
+
+_PARTITIONERS: dict[str, Partitioner] = {}
+
+
+def register_partitioner(partitioner: Partitioner) -> Partitioner:
+    """Register a partitioner under its name (last registration wins)."""
+    _PARTITIONERS[partitioner.name] = partitioner
+    return partitioner
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Resolve a registered partitioner (raises ``KeyError`` when unknown)."""
+    try:
+        return _PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join([*sorted(_PARTITIONERS), "auto"])
+        raise KeyError(f"unknown partitioner {name!r} (known: {known})") from None
+
+
+def partitioner_names() -> list[str]:
+    return sorted(_PARTITIONERS)
+
+
+def _metro_groups(problem: OverlayDesignProblem) -> dict[str, list[str]]:
+    groups: dict[str, list[str]] = {}
+    for sink in problem.sinks:
+        prefix = sink.split("-", 1)[0]
+        groups.setdefault(prefix, []).append(sink)
+    return groups
+
+
+def _isp_groups(problem: OverlayDesignProblem) -> dict[str, list[str]]:
+    candidate_colors: dict[str, Counter] = {}
+    for demand in problem.demands:
+        counter = candidate_colors.setdefault(demand.sink, Counter())
+        for reflector in problem.candidate_reflectors(demand):
+            color = problem.color(reflector)
+            if color is not None:
+                counter[str(color)] += 1
+    groups: dict[str, list[str]] = {}
+    for sink in problem.sinks:
+        counter = candidate_colors.get(sink)
+        if counter:
+            # Modal color; deterministic tie-break by label.
+            label = min(counter, key=lambda c: (-counter[c], c))
+        else:
+            label = "uncolored"
+        groups.setdefault(label, []).append(sink)
+    return groups
+
+
+def _hash_groups(problem: OverlayDesignProblem) -> dict[str, list[str]]:
+    return {sink: [sink] for sink in problem.sinks}
+
+
+register_partitioner(
+    Partitioner(
+        "metro",
+        _metro_groups,
+        "group sinks by co-location name prefix (metro/colo clusters)",
+    )
+)
+register_partitioner(
+    Partitioner(
+        "isp",
+        _isp_groups,
+        "group sinks by the modal ISP color of their candidate reflectors",
+    )
+)
+register_partitioner(
+    Partitioner("hash", _hash_groups, "balanced content-free sharding of sinks")
+)
+
+
+def resolve_partitioner(
+    problem: OverlayDesignProblem, partitioner: str | Partitioner = "auto"
+) -> Partitioner:
+    """Resolve ``"auto"`` (or a name) to a concrete :class:`Partitioner`."""
+    return _resolve_with_groups(problem, partitioner)[0]
+
+
+def _resolve_with_groups(
+    problem: OverlayDesignProblem, partitioner: str | Partitioner
+) -> tuple[Partitioner, dict[str, list[str]]]:
+    """Resolve the partitioner and return its grouping in the same pass.
+
+    The ``"auto"`` probe has to compute the candidate groupings anyway to
+    decide, so callers on the hot path (:func:`build_partition`) reuse them
+    instead of grouping twice.
+    """
+    if isinstance(partitioner, Partitioner):
+        return partitioner, partitioner.group_sinks(problem)
+    if partitioner != "auto":
+        chosen = get_partitioner(partitioner)
+        return chosen, chosen.group_sinks(problem)
+    metro = get_partitioner("metro")
+    groups = metro.group_sinks(problem)
+    if len(groups) > 1:
+        return metro, groups
+    isp = get_partitioner("isp")
+    groups = isp.group_sinks(problem)
+    if len(groups) > 1:
+        return isp, groups
+    fallback = get_partitioner("hash")
+    return fallback, fallback.group_sinks(problem)
+
+
+def resolve_shard_count(shards: int | str | None, problem: OverlayDesignProblem) -> int:
+    """Normalise a ``--shards`` value to a positive integer target.
+
+    ``"auto"`` (or ``None``) targets roughly ``sqrt(n/2)`` shards capped at
+    :data:`AUTO_SHARD_CAP` -- enough parallelism to matter while keeping each
+    shard large enough that per-shard designs stay meaningful.
+    """
+    if shards is None or shards == "auto":
+        return int(
+            min(
+                AUTO_SHARD_CAP,
+                max(1, round(math.sqrt(problem.num_demands / 2.0))),
+            )
+        )
+    if isinstance(shards, str):
+        shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return min(shards, problem.num_sinks)
+
+
+@dataclass
+class Shard:
+    """One shard: its sinks, its slice of the demands, and its subproblem."""
+
+    shard_id: str
+    sinks: list[str]
+    demand_keys: list[tuple[str, str]]
+    problem: OverlayDesignProblem
+
+
+@dataclass
+class PartitionPlan:
+    """The output of :func:`build_partition`: balanced, self-contained shards."""
+
+    partitioner: str
+    requested_shards: int
+    shards: list[Shard] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def sink_to_shard(self) -> dict[str, str]:
+        return {
+            sink: shard.shard_id for shard in self.shards for sink in shard.sinks
+        }
+
+
+def _coalesce_groups(
+    groups: Mapping[str, list[str]], target: int
+) -> list[list[str]]:
+    """Deal labelled groups into ``target`` balanced bins (deterministic).
+
+    Groups are kept whole (a metro never straddles shards); bins are filled
+    greedily largest-group-first into the least-loaded bin, ties broken by
+    bin index, so the layout is a pure function of the group sizes and labels.
+    """
+    ordered = sorted(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+    bins: list[list[str]] = [[] for _ in range(min(target, len(ordered)))]
+    loads = [0] * len(bins)
+    for _label, sinks in ordered:
+        index = min(range(len(bins)), key=lambda i: (loads[i], i))
+        bins[index].extend(sinks)
+        loads[index] += len(sinks)
+    return [sorted(b) for b in bins if b]
+
+
+def extract_shard_problem(
+    problem: OverlayDesignProblem,
+    sinks: list[str],
+    name: str,
+    delivery_by_sink: Mapping[str, list[tuple[str, float, float]]] | None = None,
+) -> OverlayDesignProblem:
+    """Build the self-contained subproblem for one shard.
+
+    The subproblem keeps the shard's sinks and demands, every candidate
+    reflector of those demands (with its full cost/fanout/color/capacity),
+    and exactly the edges connecting them; weights, costs and thresholds are
+    copied verbatim, so a demand's feasible weight in the shard equals its
+    feasible weight in the full problem.
+    """
+    sink_set = set(sinks)
+    demands = [d for d in problem.demands if d.sink in sink_set]
+    if delivery_by_sink is None:
+        delivery_by_sink = _delivery_index(problem)
+
+    reflectors: list[str] = []
+    seen_reflectors: set[str] = set()
+    streams: list[str] = []
+    seen_streams: set[str] = set()
+    for demand in demands:
+        if demand.stream not in seen_streams:
+            seen_streams.add(demand.stream)
+            streams.append(demand.stream)
+        for reflector in problem.candidate_reflectors(demand):
+            if reflector not in seen_reflectors:
+                seen_reflectors.add(reflector)
+                reflectors.append(reflector)
+
+    shard = OverlayDesignProblem(name=name)
+    for stream in problem.streams:
+        if stream in seen_streams:
+            shard.add_stream(stream, bandwidth=problem.stream_bandwidth(stream))
+    for reflector in problem.reflectors:
+        if reflector not in seen_reflectors:
+            continue
+        info = problem.reflector_info(reflector)
+        shard.add_reflector(
+            reflector,
+            cost=info.cost,
+            fanout=info.fanout,
+            color=info.color,
+            capacity=info.capacity,
+        )
+    for sink in problem.sinks:
+        if sink in sink_set:
+            shard.add_sink(sink)
+    for edge in problem.stream_edges():
+        if edge.stream in seen_streams and edge.reflector in seen_reflectors:
+            shard.add_stream_edge(
+                edge.stream, edge.reflector, edge.loss_probability, edge.cost
+            )
+    overrides = problem.delivery_stream_cost_overrides()
+    for sink in sinks:
+        for reflector, loss, base_cost in delivery_by_sink.get(sink, []):
+            if reflector not in seen_reflectors:
+                continue
+            stream_costs = overrides.get((reflector, sink))
+            if stream_costs is not None:
+                stream_costs = {
+                    stream: cost
+                    for stream, cost in stream_costs.items()
+                    if stream in seen_streams
+                }
+            shard.add_delivery_edge(
+                reflector,
+                sink,
+                loss_probability=loss,
+                cost=base_cost,
+                stream_costs=stream_costs or None,
+                capacity=problem.arc_capacity(reflector, sink),
+            )
+    for demand in demands:
+        shard.add_demand(demand.sink, demand.stream, demand.success_threshold)
+    return shard
+
+
+def _delivery_index(
+    problem: OverlayDesignProblem,
+) -> dict[str, list[tuple[str, float, float]]]:
+    """Index delivery links by sink: ``sink -> [(reflector, loss, base_cost)]``."""
+    index: dict[str, list[tuple[str, float, float]]] = {}
+    for reflector, sink, loss, base_cost in problem.delivery_link_data():
+        index.setdefault(sink, []).append((reflector, loss, base_cost))
+    return index
+
+
+def build_partition(
+    problem: OverlayDesignProblem,
+    partitioner: str | Partitioner = "auto",
+    shards: int | str | None = "auto",
+) -> PartitionPlan:
+    """Partition ``problem`` into balanced, self-contained shards.
+
+    The plan is a pure function of the problem and the two knobs -- no
+    randomness, no environment dependence -- which is what makes the sharded
+    pipeline deterministic regardless of ``--jobs``.  Raises ``ValueError``
+    if the partitioner fails to cover every sink exactly once.
+    """
+    chosen, raw_groups = _resolve_with_groups(problem, partitioner)
+    target = resolve_shard_count(shards, problem)
+    groups = {label: sinks for label, sinks in raw_groups.items() if sinks}
+    covered = [sink for sinks in groups.values() for sink in sinks]
+    if sorted(covered) != sorted(problem.sinks):
+        raise ValueError(
+            f"partitioner {chosen.name!r} does not cover every sink exactly once "
+            f"({len(covered)} placements for {problem.num_sinks} sinks)"
+        )
+    bins = _coalesce_groups(groups, target)
+    delivery_by_sink = _delivery_index(problem)
+    width = len(str(max(len(bins) - 1, 1)))
+    plan = PartitionPlan(partitioner=chosen.name, requested_shards=target)
+    for index, sinks in enumerate(bins):
+        shard_id = f"shard{index:0{width}d}"
+        sink_set = set(sinks)
+        plan.shards.append(
+            Shard(
+                shard_id=shard_id,
+                sinks=sinks,
+                demand_keys=[d.key for d in problem.demands if d.sink in sink_set],
+                problem=extract_shard_problem(
+                    problem,
+                    sinks,
+                    name=f"{problem.name}/{shard_id}",
+                    delivery_by_sink=delivery_by_sink,
+                ),
+            )
+        )
+    return plan
+
+
+__all__ = [
+    "AUTO_SHARD_CAP",
+    "PartitionPlan",
+    "Partitioner",
+    "Shard",
+    "build_partition",
+    "extract_shard_problem",
+    "get_partitioner",
+    "partitioner_names",
+    "register_partitioner",
+    "resolve_partitioner",
+    "resolve_shard_count",
+]

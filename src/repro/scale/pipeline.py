@@ -1,0 +1,220 @@
+"""The hierarchical sharded design pipeline: partition -> design -> stitch.
+
+:func:`design_sharded` is the scaling layer over the Designer registry: it
+partitions an internet-scale instance into ISP/metro shards
+(:mod:`repro.scale.partition`), designs every shard independently through any
+registered inner strategy -- fanned out over worker processes via
+:func:`repro.api.design_batch`, which rides
+:func:`repro.analysis.runner.execute_tasks` and therefore returns shard
+results in shard order regardless of ``jobs`` -- and stitches the shard
+designs back together (:mod:`repro.scale.stitch`) before re-auditing the
+merged solution against the *full* problem.
+
+Strategy names: any registered solution-producing strategy ``X`` is available
+as ``"sharded:X"`` through :func:`repro.api.get_designer`; the designer is
+materialised on first use by :func:`make_sharded_designer`.  Options
+(``request.options``):
+
+``shards``
+    Target shard count, or ``"auto"`` (default; see
+    :func:`repro.scale.partition.resolve_shard_count`).
+``jobs``
+    Worker processes for the per-shard fan-out: an int, ``"auto"`` (all
+    cores) or 1 (default; inline, no pool).
+``partitioner``
+    ``"auto"`` (default), ``"metro"``, ``"isp"`` or ``"hash"``.
+``stitch_repair``
+    Run the global cross-shard repair pass after merging (default True).
+``inner_options``
+    Options dict forwarded to every per-shard inner request.
+
+Determinism contract: the partition is a pure function of the problem, each
+shard request derives its seed from the request seed and the shard index via
+``numpy.random.SeedSequence``, the executor preserves shard order, and the
+stitch stage draws no randomness -- so for a fixed request seed the merged
+design is bit-identical across ``jobs`` settings and machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.audit import audit_solution
+from repro.api.batch import design_batch
+from repro.api.registry import RegisteredDesigner, get_designer
+from repro.api.types import (
+    DesignRequest,
+    DesignResult,
+    parameters_from_dict,
+    parameters_to_dict,
+)
+from repro.scale.partition import build_partition
+from repro.scale.stitch import stitch_solutions
+
+#: Prefix of dynamically materialised sharded strategies.
+SHARDED_PREFIX = "sharded:"
+
+
+def shard_seed(base_seed: int | None, shard_index: int) -> int | None:
+    """Derive the deterministic per-shard seed from the request seed.
+
+    ``None`` stays ``None`` (fresh entropy per shard, matching the monolithic
+    pipeline's behaviour for seedless requests); otherwise the seed comes from
+    a :class:`numpy.random.SeedSequence` over ``(base_seed, shard_index)``, so
+    shards draw independent streams and the mapping is stable across runs,
+    machines and ``jobs`` settings.
+    """
+    if base_seed is None:
+        return None
+    return int(
+        np.random.SeedSequence([int(base_seed), shard_index]).generate_state(1)[0]
+        % (2**31)
+    )
+
+
+def _sharded_options(request: DesignRequest) -> dict:
+    defaults = {
+        "shards": "auto",
+        "jobs": 1,
+        "partitioner": "auto",
+        "stitch_repair": True,
+        "inner_options": {},
+    }
+    unknown = sorted(set(request.options) - set(defaults))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for strategy {request.strategy!r} "
+            f"(accepted: {sorted(defaults)})"
+        )
+    return {**defaults, **request.options}
+
+
+def design_sharded(
+    request: DesignRequest, inner: RegisteredDesigner
+) -> DesignResult:
+    """Run the partition -> per-shard design -> stitch -> audit pipeline."""
+    options = _sharded_options(request)
+    problem = request.problem
+
+    start = time.perf_counter()
+    plan = build_partition(
+        problem, partitioner=options["partitioner"], shards=options["shards"]
+    )
+    partition_seconds = time.perf_counter() - start
+
+    base_parameters = parameters_to_dict(request.parameters)
+    shard_requests = []
+    for index, shard in enumerate(plan.shards):
+        parameters = dict(base_parameters)
+        parameters["rounding"] = dict(parameters["rounding"])
+        parameters["rounding"]["seed"] = shard_seed(request.seed, index)
+        shard_requests.append(
+            DesignRequest(
+                problem=shard.problem,
+                parameters=parameters_from_dict(parameters),
+                strategy=inner.name,
+                options=dict(options["inner_options"]),
+                request_id=shard.shard_id,
+            )
+        )
+
+    start = time.perf_counter()
+    shard_results = design_batch(shard_requests, jobs=options["jobs"])
+    design_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solution, stitch_report = stitch_solutions(
+        problem,
+        plan,
+        [result.solution for result in shard_results],
+        repair=options["stitch_repair"],
+        fanout_slack=request.parameters.repair_fanout_slack,
+    )
+    stitch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    audit = audit_solution(problem, solution)
+    audit_seconds = time.perf_counter() - start
+
+    shard_bounds = [result.lower_bound for result in shard_results]
+    metadata = {
+        "inner_strategy": inner.name,
+        "partitioner": plan.partitioner,
+        "jobs": str(options["jobs"]),
+        **stitch_report.as_metadata(),
+    }
+    if all(bound is not None for bound in shard_bounds):
+        # Sum of shard LP bounds; NOT a lower bound on the global optimum
+        # (shared reflector builds are double-counted across shards), hence
+        # metadata rather than DesignResult.lower_bound.
+        metadata["shard_bound_sum"] = float(sum(shard_bounds))
+    solution.metadata["algorithm"] = f"{SHARDED_PREFIX}{inner.name}"
+    return DesignResult(
+        strategy=request.strategy,
+        solution=solution,
+        lower_bound=None,
+        stage_seconds={
+            "partition": partition_seconds,
+            "design_shards": design_seconds,
+            "stitch": stitch_seconds,
+            "audit": audit_seconds,
+        },
+        audit=audit,
+        metadata=metadata,
+        request_id=request.request_id,
+    )
+
+
+def make_sharded_designer(name: str) -> RegisteredDesigner:
+    """Materialise the ``"sharded:<inner>"`` designer for a registry name.
+
+    Raises ``KeyError`` when the inner strategy is unknown (or itself
+    sharded) and ``ValueError`` when it is bound-only -- a shard plan of LP
+    bounds has nothing to stitch.
+    """
+    inner_name = name[len(SHARDED_PREFIX):]
+    if not inner_name or inner_name.startswith(SHARDED_PREFIX):
+        raise KeyError(
+            f"unknown designer {name!r} (the sharded prefix wraps exactly one "
+            "registered solution-producing strategy, e.g. 'sharded:spaa03')"
+        )
+    try:
+        inner = get_designer(inner_name)
+    except KeyError:
+        from repro.api.registry import designer_names
+
+        known = ", ".join(designer_names())
+        raise KeyError(
+            f"unknown inner strategy {inner_name!r} for {name!r} (known: {known})"
+        ) from None
+    if not inner.produces_solution:
+        raise ValueError(
+            f"strategy {name!r} is invalid: inner strategy {inner_name!r} "
+            "produces no integral design (bound only), so there is nothing "
+            "to shard and stitch"
+        )
+
+    def _run(request: DesignRequest) -> DesignResult:
+        return design_sharded(request, inner)
+
+    return RegisteredDesigner(
+        name=name,
+        run=_run,
+        description=(
+            f"hierarchical sharded pipeline (partition -> {inner_name} per "
+            "shard -> stitch)"
+        ),
+        baseline=False,
+        in_comparisons=False,
+        produces_solution=True,
+    )
+
+
+__all__ = [
+    "SHARDED_PREFIX",
+    "design_sharded",
+    "make_sharded_designer",
+    "shard_seed",
+]

@@ -18,11 +18,18 @@ algorithm and of the evaluation harness can be exercised:
 * :mod:`repro.workloads.akamai_like` -- full Akamai-like topologies (colos,
   ISPs, reflectors, edge regions);
 * :mod:`repro.workloads.flash_crowd` -- the MacWorld-style flash-crowd
-  scenario used by the C1 benchmark and the examples.
+  scenario used by the C1 benchmark and the examples;
+* :mod:`repro.workloads.internet_scale` -- the vectorized 10k--50k sink tier
+  with sparse metro-local candidate sets, built for the sharded pipeline of
+  :mod:`repro.scale` and the T8 scaling benchmark.
 """
 
 from repro.workloads.akamai_like import AkamaiLikeConfig, generate_akamai_like_topology
 from repro.workloads.flash_crowd import FlashCrowdConfig, generate_flash_crowd_scenario
+from repro.workloads.internet_scale import (
+    InternetScaleConfig,
+    generate_internet_scale_problem,
+)
 from repro.workloads.random_instances import (
     RandomInstanceConfig,
     random_problem,
@@ -39,12 +46,14 @@ from repro.workloads.tiny import build_tiny_problem
 __all__ = [
     "AkamaiLikeConfig",
     "FlashCrowdConfig",
+    "InternetScaleConfig",
     "RandomInstanceConfig",
     "bandwidth_price",
     "build_tiny_problem",
     "distance",
     "generate_akamai_like_topology",
     "generate_flash_crowd_scenario",
+    "generate_internet_scale_problem",
     "loss_probability_from_distance",
     "random_problem",
     "small_example_problem",

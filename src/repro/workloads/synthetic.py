@@ -28,14 +28,23 @@ def distance(a: tuple[float, float], b: tuple[float, float]) -> float:
     return math.hypot(a[0] - b[0], a[1] - b[1])
 
 
+#: Shared loss-model constants (also the defaults of the vectorized variant in
+#: :mod:`repro.workloads.internet_scale` -- tune them here, not per workload).
+BASE_LOSS = 0.002
+LOSS_PER_UNIT_DISTANCE = 0.02
+LOSS_JITTER_SIGMA = 0.35
+MIN_LOSS = 0.0005
+MAX_LOSS = 0.15
+
+
 def loss_probability_from_distance(
     dist: float,
     rng: np.random.Generator,
-    base_loss: float = 0.002,
-    loss_per_unit_distance: float = 0.02,
-    jitter_sigma: float = 0.35,
-    min_loss: float = 0.0005,
-    max_loss: float = 0.15,
+    base_loss: float = BASE_LOSS,
+    loss_per_unit_distance: float = LOSS_PER_UNIT_DISTANCE,
+    jitter_sigma: float = LOSS_JITTER_SIGMA,
+    min_loss: float = MIN_LOSS,
+    max_loss: float = MAX_LOSS,
 ) -> float:
     """Map a planar distance to a per-packet loss probability with jitter.
 

@@ -37,6 +37,22 @@ settings.load_profile(
 )
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden design fixtures under tests/goldens/ instead "
+        "of comparing against them (commit the diff deliberately)",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden fixtures."""
+    return bool(request.config.getoption("--regen-goldens"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that need randomness."""

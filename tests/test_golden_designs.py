@@ -1,0 +1,189 @@
+"""Golden regression corpus: seed-pinned end-to-end designs for every strategy.
+
+Every registered strategy (plus the sharded pipeline around the paper
+algorithm) is run on three reference workloads with a pinned seed, and the
+observable outcome -- total cost, build/assignment counts, fanout, the audit
+digest, the LP lower bound where one is computed -- is compared against the
+committed JSON fixtures under ``tests/goldens/``.
+
+A drift here means an algorithm changed behaviour.  If the change is
+intentional, regenerate and commit the fixtures::
+
+    python -m pytest tests/test_golden_designs.py --regen-goldens
+
+The suite also fails when a *new* strategy is registered without a golden
+entry, so the corpus can never silently fall behind the catalogue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.api import DesignRequest, designer_names, get_designer
+from repro.api.types import audit_to_dict
+from repro.core.algorithm import DesignParameters
+from repro.workloads import (
+    AkamaiLikeConfig,
+    RandomInstanceConfig,
+    generate_akamai_like_topology,
+    random_problem,
+)
+from repro.workloads.tiny import build_tiny_problem
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The pinned seed every strategy runs with (parameters.rounding.seed).
+GOLDEN_SEED = 2003
+
+#: Extra (non-registered) strategies the corpus must always cover.
+EXTRA_STRATEGIES = ["sharded:spaa03"]
+
+
+def _random_reference():
+    return random_problem(
+        RandomInstanceConfig(num_streams=2, num_reflectors=6, num_sinks=8), rng=0
+    )
+
+
+def _akamai_reference():
+    topology, _registry = generate_akamai_like_topology(
+        AkamaiLikeConfig(
+            num_regions=2,
+            colos_per_region=2,
+            num_isps=2,
+            num_streams=2,
+            reflectors_per_colo=1,
+        ),
+        rng=0,
+    )
+    return topology.to_problem()
+
+
+#: The three reference workloads (stable names = fixture file stems).
+WORKLOADS = {
+    "tiny": build_tiny_problem,
+    "random-mid": _random_reference,
+    "akamai-small": _akamai_reference,
+}
+
+
+def _round(value: float) -> float:
+    return round(float(value), 9)
+
+
+def _digest(document: dict) -> str:
+    """Stable short digest of a JSON-compatible document (floats rounded)."""
+
+    def canonical(obj):
+        if isinstance(obj, float):
+            return _round(obj)
+        if isinstance(obj, dict):
+            return {str(k): canonical(v) for k, v in sorted(obj.items())}
+        if isinstance(obj, (list, tuple)):
+            return [canonical(v) for v in obj]
+        return obj
+
+    payload = json.dumps(canonical(document), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def golden_strategies() -> list[str]:
+    return [*designer_names(), *EXTRA_STRATEGIES]
+
+
+def run_golden(problem, strategy: str) -> dict:
+    """Run one strategy with the pinned seed and snapshot its outcome."""
+    designer = get_designer(strategy)
+    options = {"shards": 3, "jobs": 1} if strategy.startswith("sharded:") else {}
+    result = designer.design(
+        DesignRequest(
+            problem=problem,
+            parameters=DesignParameters(seed=GOLDEN_SEED),
+            strategy=strategy,
+            options=options,
+        )
+    )
+    entry: dict = {"total_cost": _round(result.total_cost)}
+    if designer.produces_solution:
+        solution = result.solution
+        entry["reflectors_built"] = len(solution.built_reflectors)
+        entry["assignments"] = sum(len(v) for v in solution.assignments.values())
+        entry["unserved_demands"] = len(solution.unserved_demands())
+        entry["max_fanout_factor"] = _round(solution.max_fanout_factor())
+        entry["audit_digest"] = _digest(audit_to_dict(result.audit))
+    if result.lower_bound is not None:
+        entry["lower_bound"] = _round(result.lower_bound)
+    return entry
+
+
+def golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"{workload}.json"
+
+
+def load_golden(workload: str) -> dict:
+    path = golden_path(workload)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with "
+            "`python -m pytest tests/test_golden_designs.py --regen-goldens`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_golden_designs(workload, regen_goldens):
+    problem = WORKLOADS[workload]()
+    observed = {
+        "workload": workload,
+        "seed": GOLDEN_SEED,
+        "strategies": {
+            strategy: run_golden(problem, strategy)
+            for strategy in golden_strategies()
+        },
+    }
+    if regen_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path(workload).write_text(
+            json.dumps(observed, indent=2, sort_keys=True) + "\n"
+        )
+        return
+
+    golden = load_golden(workload)
+    assert golden.get("seed") == GOLDEN_SEED, "seed pin changed; regenerate goldens"
+    missing = sorted(set(golden_strategies()) - set(golden["strategies"]))
+    assert not missing, (
+        f"strategies {missing} have no golden entry for {workload!r}; run "
+        "--regen-goldens and commit the diff"
+    )
+    for strategy, expected in sorted(golden["strategies"].items()):
+        actual = observed["strategies"].get(strategy)
+        assert actual is not None, f"golden strategy {strategy!r} no longer runs"
+        assert sorted(actual) == sorted(expected), (
+            f"{workload}/{strategy}: snapshot fields changed "
+            f"({sorted(actual)} vs {sorted(expected)})"
+        )
+        for field, want in expected.items():
+            got = actual[field]
+            if isinstance(want, float):
+                assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{workload}/{strategy}/{field}: {got!r} != {want!r}"
+                )
+            else:
+                assert got == want, f"{workload}/{strategy}/{field}: {got!r} != {want!r}"
+
+
+def test_corpus_covers_every_registered_strategy():
+    """Adding a strategy without regenerating the corpus must fail loudly."""
+    for workload in WORKLOADS:
+        golden = load_golden(workload)
+        missing = sorted(set(designer_names()) - set(golden["strategies"]))
+        assert not missing, (
+            f"registered strategies {missing} missing from {workload!r} goldens; "
+            "run --regen-goldens"
+        )
+        assert set(EXTRA_STRATEGIES) <= set(golden["strategies"])

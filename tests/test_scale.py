@@ -1,0 +1,375 @@
+"""Tests for the hierarchical sharded design pipeline (repro.scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DesignRequest, get_designer, result_from_dict, result_to_dict
+from repro.core.algorithm import DesignParameters
+from repro.core.solution import OverlaySolution
+from repro.scale import (
+    StitchReport,
+    build_partition,
+    get_partitioner,
+    merge_shard_solutions,
+    rebalance_fanout,
+    resolve_partitioner,
+    resolve_shard_count,
+    shard_seed,
+    stitch_solutions,
+)
+from repro.workloads import (
+    InternetScaleConfig,
+    RandomInstanceConfig,
+    generate_internet_scale_problem,
+    random_problem,
+)
+from repro.workloads.tiny import build_tiny_problem
+
+
+@pytest.fixture(scope="module")
+def scale_problem():
+    problem, _registry = generate_internet_scale_problem(
+        InternetScaleConfig(num_sinks=200, sinks_per_metro=25), rng=7
+    )
+    return problem
+
+
+# ---------------------------------------------------------------------------
+# Workload generator
+# ---------------------------------------------------------------------------
+
+
+class TestInternetScaleWorkload:
+    def test_structure_and_feasibility(self, scale_problem):
+        assert scale_problem.num_sinks == 200
+        assert scale_problem.num_demands == 200  # one demand per sink
+        assert scale_problem.num_reflectors == 8 * 2
+        assert scale_problem.feasibility_report() == []
+
+    def test_deterministic_given_seed(self):
+        config = InternetScaleConfig(num_sinks=60, sinks_per_metro=20)
+        a, _ = generate_internet_scale_problem(config, rng=3)
+        b, _ = generate_internet_scale_problem(config, rng=3)
+        assert a.sinks == b.sinks
+        assert [d.key for d in a.demands] == [d.key for d in b.demands]
+        assert [d.success_threshold for d in a.demands] == [
+            d.success_threshold for d in b.demands
+        ]
+        assert a.delivery_link_data() == b.delivery_link_data()
+
+    def test_names_carry_metro_prefix_and_isp_colors(self, scale_problem):
+        assert all("-" in name for name in scale_problem.sinks)
+        colors = {scale_problem.color(r) for r in scale_problem.reflectors}
+        assert colors and None not in colors
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="candidates_per_sink"):
+            InternetScaleConfig(candidates_per_sink=1)
+        with pytest.raises(ValueError, match="quality_mix"):
+            InternetScaleConfig(quality_mix=(0.5, 0.5, 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+
+class TestPartition:
+    def test_metro_partitioner_covers_all_sinks_exactly_once(self, scale_problem):
+        plan = build_partition(scale_problem, partitioner="metro", shards="auto")
+        assert plan.partitioner == "metro"
+        placed = [sink for shard in plan.shards for sink in shard.sinks]
+        assert sorted(placed) == sorted(scale_problem.sinks)
+
+    def test_demand_keys_partition_the_demands(self, scale_problem):
+        plan = build_partition(scale_problem, shards=4)
+        keys = [key for shard in plan.shards for key in shard.demand_keys]
+        assert sorted(keys) == sorted(d.key for d in scale_problem.demands)
+
+    def test_explicit_shard_count_is_honoured(self, scale_problem):
+        plan = build_partition(scale_problem, shards=3)
+        assert plan.num_shards == 3
+        sizes = [len(shard.sinks) for shard in plan.shards]
+        # Metro groups are dealt largest-first, so the split stays balanced.
+        assert max(sizes) - min(sizes) <= 25
+
+    def test_subproblem_preserves_demand_candidates_and_weights(self, scale_problem):
+        plan = build_partition(scale_problem, shards=4)
+        shard = plan.shards[0]
+        for demand in shard.problem.demands:
+            original = next(
+                d for d in scale_problem.demands if d.key == demand.key
+            )
+            assert demand.success_threshold == original.success_threshold
+            assert shard.problem.candidate_reflectors(demand) == (
+                scale_problem.candidate_reflectors(original)
+            )
+            for reflector in shard.problem.candidate_reflectors(demand):
+                assert shard.problem.edge_weight(demand, reflector) == (
+                    scale_problem.edge_weight(original, reflector)
+                )
+                assert shard.problem.assignment_cost(demand, reflector) == (
+                    scale_problem.assignment_cost(original, reflector)
+                )
+
+    def test_subproblem_reflector_attributes_copied(self, scale_problem):
+        plan = build_partition(scale_problem, shards=2)
+        shard = plan.shards[0]
+        for reflector in shard.problem.reflectors:
+            ours = shard.problem.reflector_info(reflector)
+            theirs = scale_problem.reflector_info(reflector)
+            assert (ours.cost, ours.fanout, ours.color, ours.capacity) == (
+                theirs.cost,
+                theirs.fanout,
+                theirs.color,
+                theirs.capacity,
+            )
+
+    def test_isp_partitioner_groups_by_color(self, scale_problem):
+        groups = get_partitioner("isp").group_sinks(scale_problem)
+        assert len(groups) > 1
+        assert sorted(s for sinks in groups.values() for s in sinks) == sorted(
+            scale_problem.sinks
+        )
+
+    def test_hash_partitioner_balances_unstructured_names(self):
+        problem = random_problem(
+            RandomInstanceConfig(num_streams=2, num_reflectors=6, num_sinks=12), rng=0
+        )
+        chosen = resolve_partitioner(problem, "hash")
+        assert chosen.name == "hash"
+        plan = build_partition(problem, partitioner="hash", shards=3)
+        sizes = sorted(len(shard.sinks) for shard in plan.shards)
+        assert sum(sizes) == problem.num_sinks
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_auto_partitioner_prefers_metro_clusters(self, scale_problem):
+        assert resolve_partitioner(scale_problem, "auto").name == "metro"
+
+    def test_unknown_partitioner_raises(self, scale_problem):
+        with pytest.raises(KeyError, match="unknown partitioner 'bogus'"):
+            build_partition(scale_problem, partitioner="bogus")
+
+    def test_resolve_shard_count(self, scale_problem):
+        assert resolve_shard_count(1, scale_problem) == 1
+        assert resolve_shard_count("4", scale_problem) == 4
+        auto = resolve_shard_count("auto", scale_problem)
+        assert 1 <= auto <= 64
+        # Never more shards than sinks.
+        assert resolve_shard_count(10_000, scale_problem) == scale_problem.num_sinks
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            resolve_shard_count(0, scale_problem)
+
+
+# ---------------------------------------------------------------------------
+# Stitching
+# ---------------------------------------------------------------------------
+
+
+class TestStitch:
+    def test_merge_rejects_duplicate_demand_keys(self, scale_problem):
+        demand = scale_problem.demands[0]
+        reflector = scale_problem.candidate_reflectors(demand)[0]
+        part = OverlaySolution.from_assignments(
+            scale_problem, {demand.key: [reflector]}
+        )
+        with pytest.raises(ValueError, match="more than one shard"):
+            merge_shard_solutions(scale_problem, [part, part])
+
+    def test_merge_deduplicates_reflector_builds(self, scale_problem):
+        d1, d2 = scale_problem.demands[0], scale_problem.demands[1]
+        shared = set(scale_problem.candidate_reflectors(d1)) & set(
+            scale_problem.candidate_reflectors(d2)
+        )
+        reflector = sorted(shared)[0]
+        a = OverlaySolution.from_assignments(scale_problem, {d1.key: [reflector]})
+        b = OverlaySolution.from_assignments(scale_problem, {d2.key: [reflector]})
+        merged = merge_shard_solutions(scale_problem, [a, b])
+        assert merged.built_reflectors == {reflector}
+        assert merged.total_cost() < a.total_cost() + b.total_cost()
+
+    def test_rebalance_sheds_redundant_overload(self):
+        # Two demands, each assigned to both reflectors; r0 has fanout 1, so
+        # the merged load of 2 must be shed by dropping redundant copies.
+        problem = build_tiny_problem()
+        demands = problem.demands[:2]
+        candidates = [set(problem.candidate_reflectors(d)) for d in demands]
+        shared = sorted(candidates[0] & candidates[1])
+        assert len(shared) >= 2
+        r_small, r_other = shared[0], shared[1]
+        solution = OverlaySolution.from_assignments(
+            problem,
+            {d.key: [r_small, r_other] for d in demands},
+        )
+        report = StitchReport()
+        # Pretend no shard used r_small more than once.
+        rebalanced = rebalance_fanout(
+            problem, solution, {r_small: 1, r_other: 2}, report
+        )
+        load = rebalanced.fanout_used(r_small)
+        assert load <= max(problem.fanout(r_small), 1)
+
+    def test_stitch_repairs_cross_shard_shortfall(self, scale_problem):
+        plan = build_partition(scale_problem, shards=4)
+        # Underserve every demand: one candidate each (likely below premium
+        # requirements), then let the stitch repair pass top them up globally.
+        solutions = []
+        for shard in plan.shards:
+            assignments = {}
+            for demand in shard.problem.demands:
+                assignments[demand.key] = [
+                    shard.problem.candidate_reflectors(demand)[0]
+                ]
+            solutions.append(
+                OverlaySolution.from_assignments(shard.problem, assignments)
+            )
+        stitched, report = stitch_solutions(scale_problem, plan, solutions)
+        assert report.num_shards == 4
+        assert report.demands_repaired > 0
+        audit_fractions = [
+            stitched.weight_satisfaction(d) for d in scale_problem.demands
+        ]
+        assert min(audit_fractions) >= min(
+            min(
+                sol.weight_satisfaction(d)
+                for shard, sol in zip(plan.shards, solutions)
+                for d in shard.problem.demands
+            ),
+            1.0,
+        )
+
+    def test_stitch_wrong_solution_count_raises(self, scale_problem):
+        plan = build_partition(scale_problem, shards=3)
+        with pytest.raises(ValueError, match="shard solutions"):
+            stitch_solutions(scale_problem, plan, [])
+
+
+# ---------------------------------------------------------------------------
+# The sharded designer
+# ---------------------------------------------------------------------------
+
+
+class TestShardedDesigner:
+    def test_registry_resolves_and_caches(self):
+        designer = get_designer("sharded:greedy")
+        assert designer.name == "sharded:greedy"
+        assert designer.produces_solution
+        assert not designer.in_comparisons
+        assert get_designer("sharded:greedy") is designer
+
+    def test_unknown_inner_strategy(self):
+        with pytest.raises(KeyError, match="unknown inner strategy 'bogus'"):
+            get_designer("sharded:bogus")
+
+    def test_bound_only_inner_strategy_rejected(self):
+        with pytest.raises(ValueError, match="bound only"):
+            get_designer("sharded:lp-bound")
+
+    def test_nested_sharding_rejected(self):
+        with pytest.raises(KeyError, match="exactly one"):
+            get_designer("sharded:sharded:spaa03")
+        with pytest.raises(KeyError):
+            get_designer("sharded:")
+
+    def test_unknown_option_rejected(self, tiny_problem):
+        with pytest.raises(ValueError, match="for strategy 'sharded:greedy'"):
+            get_designer("sharded:greedy").design(
+                DesignRequest(
+                    problem=tiny_problem,
+                    strategy="sharded:greedy",
+                    options={"typo": 1},
+                )
+            )
+
+    def test_shard_seed_derivation(self):
+        assert shard_seed(None, 3) is None
+        seeds = {shard_seed(7, index) for index in range(10)}
+        assert len(seeds) == 10  # independent streams per shard
+        assert shard_seed(7, 3) == shard_seed(7, 3)  # stable across calls
+
+    def test_sharded_design_serves_everything(self, scale_problem):
+        result = get_designer("sharded:spaa03").design(
+            DesignRequest(
+                problem=scale_problem,
+                strategy="sharded:spaa03",
+                parameters=DesignParameters(seed=11, repair_shortfall=True),
+                options={"shards": 4},
+            )
+        )
+        assert result.strategy == "sharded:spaa03"
+        assert result.audit is not None
+        assert result.audit.unserved_demands == 0
+        assert result.audit.min_weight_fraction >= 1.0 - 1e-9
+        assert result.metadata["num_shards"] == 4
+        assert set(result.stage_seconds) == {
+            "partition",
+            "design_shards",
+            "stitch",
+            "audit",
+        }
+        # Bound-free: the sum of shard LP bounds is metadata, not a bound.
+        assert result.lower_bound is None
+        assert result.metadata["shard_bound_sum"] > 0
+
+    def test_jobs_do_not_change_the_design(self, scale_problem):
+        def run(jobs):
+            return get_designer("sharded:greedy").design(
+                DesignRequest(
+                    problem=scale_problem,
+                    strategy="sharded:greedy",
+                    parameters=DesignParameters(seed=5),
+                    options={"shards": 4, "jobs": jobs},
+                )
+            )
+
+        serial, parallel = run(1), run(2)
+        assert serial.solution.assignments == parallel.solution.assignments
+        assert serial.solution.built_reflectors == parallel.solution.built_reflectors
+        assert serial.total_cost == parallel.total_cost
+
+    def test_result_round_trips_through_json(self, scale_problem):
+        result = get_designer("sharded:greedy").design(
+            DesignRequest(
+                problem=scale_problem,
+                strategy="sharded:greedy",
+                options={"shards": 3},
+                request_id="scale-1",
+            )
+        )
+        restored = result_from_dict(result_to_dict(result), scale_problem)
+        assert restored.strategy == "sharded:greedy"
+        assert restored.request_id == "scale-1"
+        assert restored.solution.assignments == result.solution.assignments
+        assert restored.metadata["num_shards"] == 3
+
+    def test_sharded_requests_resolve_in_batch_workers(self, tiny_problem):
+        # Worker processes resolve 'sharded:' names dynamically (they are not
+        # part of the imported catalogue), so a parallel batch must work.
+        from repro.api import design_batch
+
+        requests = [
+            DesignRequest(
+                problem=tiny_problem,
+                strategy="sharded:greedy",
+                parameters=DesignParameters(seed=seed),
+                options={"shards": 2},
+                request_id=f"req-{seed}",
+            )
+            for seed in (0, 1)
+        ]
+        results = design_batch(requests, jobs=2)
+        assert [r.strategy for r in results] == ["sharded:greedy"] * 2
+        assert [r.request_id for r in results] == ["req-0", "req-1"]
+        assert all(r.audit.unserved_demands == 0 for r in results)
+
+    def test_single_shard_degenerates_gracefully(self, tiny_problem):
+        result = get_designer("sharded:greedy").design(
+            DesignRequest(
+                problem=tiny_problem,
+                strategy="sharded:greedy",
+                options={"shards": 1},
+            )
+        )
+        assert result.metadata["num_shards"] == 1
+        assert result.audit.unserved_demands == 0
