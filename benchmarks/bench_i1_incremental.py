@@ -1,0 +1,25 @@
+"""Experiment I1 -- incremental update vs from-scratch re-design after churn.
+
+Scenario ``i1`` designs an internet-scale instance once (the standing
+design), samples 5% sink churn through the :mod:`repro.incremental` adapters
+and then updates the design twice -- incrementally through
+:func:`repro.api.design_incremental` (diff -> dirty shards -> residual
+re-solve -> stitch) and from scratch through the same ``sharded:spaa03``
+pipeline -- gating the incremental result on cost parity (<= 1.05x the
+from-scratch cost), zero unserved demands, the factor-4 fanout bound, and,
+at full size (10k sinks), a >= 10x wall-clock speedup.  Both timed sides run
+``jobs=1`` so the speedup measures work avoided, not worker count.
+``REPRO_BENCH_SMOKE=1`` shrinks the instance to CI size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_i1_incremental_update_cost_parity_and_speedup():
+    record = run_and_record("i1")
+    for row in record.rows:
+        assert row["incremental_unserved"] == 0
+        assert row["incremental_vs_scratch_cost_ratio"] <= 1.05 + 1e-9
+        assert row["incremental_max_fanout_factor"] <= 4.0 + 1e-9

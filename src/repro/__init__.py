@@ -66,6 +66,7 @@ from repro.api import (
     DesignResult,
     EvaluationSpec,
     design_batch,
+    design_incremental,
     designer_names,
     get_designer,
     register_designer,
@@ -86,6 +87,7 @@ from repro.core.formulation import (
 from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, StreamEdge
 from repro.core.rounding import RoundingParameters
 from repro.core.solution import OverlaySolution
+from repro.incremental import ProblemDelta, apply_delta, diff_problems, invert_delta
 from repro.simulation import (
     MonteCarloConfig,
     evaluate_design,
@@ -109,17 +111,22 @@ __all__ = [
     "MonteCarloConfig",
     "OverlayDesignProblem",
     "OverlaySolution",
+    "ProblemDelta",
     "RoundingParameters",
     "StreamEdge",
+    "apply_delta",
     "build_formulation",
     "build_sparse_formulation",
     "design_batch",
+    "design_incremental",
     "design_overlay",
     "design_overlay_extended",
     "designer_names",
+    "diff_problems",
     "evaluate_design",
     "fractional_lower_bound",
     "get_designer",
+    "invert_delta",
     "register_designer",
     "repair_weight_shortfalls",
     "run_monte_carlo",

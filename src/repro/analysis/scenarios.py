@@ -1877,3 +1877,180 @@ register_scenario(
         description="The entangled-set integrality gap motivating the Section-6 rounding.",
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# I1 -- incremental update vs from-scratch re-design after sink churn
+# ---------------------------------------------------------------------------
+
+
+def i1_task(task: dict) -> dict:
+    from repro.api import design_incremental
+    from repro.incremental import SinkChurnConfig, churn_stream
+    from repro.workloads.internet_scale import (
+        InternetScaleConfig,
+        generate_internet_scale_problem,
+    )
+
+    problem, _registry = generate_internet_scale_problem(
+        InternetScaleConfig(num_sinks=task["sinks"]), rng=task["rng"]
+    )
+    parameters = DesignParameters(seed=task["seed"])
+    designer = get_designer(f"sharded:{task['inner']}")
+
+    # The standing design is shared setup, not part of the comparison; it may
+    # fan out over workers (the merged design is jobs-independent).
+    standing = designer.design(
+        DesignRequest(
+            problem=problem,
+            strategy=designer.name,
+            parameters=parameters,
+            options={"shards": "auto", "jobs": task["setup_jobs"]},
+        )
+    )
+
+    ((_event, delta, new_problem),) = list(
+        churn_stream(
+            problem,
+            ["sink-churn"],
+            seed=task["churn_seed"],
+            churn_config=SinkChurnConfig(fraction=task["churn_fraction"]),
+        )
+    )
+
+    # Both timed sides run jobs=1: the comparison is work done, not worker
+    # count, which keeps the speedup machine-independent and deterministic.
+    start = time.perf_counter()
+    incremental = design_incremental(
+        standing,
+        new_problem,
+        parameters=parameters,
+        options={"shards": "auto", "jobs": 1},
+        previous_problem=problem,
+        delta=delta,
+    )
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scratch = designer.design(
+        DesignRequest(
+            problem=new_problem,
+            strategy=designer.name,
+            parameters=parameters,
+            options={"shards": "auto", "jobs": 1},
+        )
+    )
+    scratch_seconds = time.perf_counter() - start
+
+    return {
+        "sinks": problem.num_sinks,
+        "demands": problem.num_demands,
+        "sinks_added": delta.summary()["sinks_added"],
+        "sinks_removed": delta.summary()["sinks_removed"],
+        "dirty_shards": incremental.metadata.get("incremental_dirty_shards", 0),
+        "num_shards": incremental.metadata.get("num_shards", 0),
+        "reused_assignments": incremental.metadata.get(
+            "incremental_reused_assignments", 0
+        ),
+        "incremental_cost": incremental.total_cost,
+        "scratch_cost": scratch.total_cost,
+        "incremental_vs_scratch_cost_ratio": incremental.total_cost
+        / max(scratch.total_cost, 1e-9),
+        "incremental_unserved": incremental.audit.unserved_demands,
+        "scratch_unserved": scratch.audit.unserved_demands,
+        "incremental_min_weight_fraction": incremental.audit.min_weight_fraction,
+        "incremental_max_fanout_factor": incremental.audit.max_fanout_factor,
+        "incremental_seconds": incremental_seconds,
+        "scratch_seconds": scratch_seconds,
+        # Wall-clock-derived; deliberately NOT a comparable metric (like the
+        # T8 speedup, it is gated by validate, not by the baseline).
+        "speedup_vs_scratch": scratch_seconds / max(incremental_seconds, 1e-9),
+    }
+
+
+def i1_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    # One task: 5% sink churn against a standing internet-scale design.  The
+    # smoke tier keeps CI minutes low while exercising the whole diff ->
+    # impact -> residual re-solve -> stitch path end to end.
+    return [
+        {
+            "sinks": 600 if smoke else 10_000,
+            "rng": 0,
+            "seed": master_seed,
+            "inner": "spaa03",
+            "setup_jobs": "auto",
+            "churn_seed": master_seed + 1,
+            "churn_fraction": 0.05,
+        }
+    ]
+
+
+def i1_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if row["incremental_vs_scratch_cost_ratio"] > 1.05 + 1e-9:
+            failures.append(
+                f"{row['sinks']} sinks: incremental design costs "
+                f"{row['incremental_vs_scratch_cost_ratio']:.3f}x the "
+                "from-scratch design (<= 1.05 required)"
+            )
+        if row["incremental_unserved"] != 0:
+            failures.append(
+                f"{row['sinks']} sinks: {row['incremental_unserved']} demands "
+                "unserved after the incremental update"
+            )
+        if row["incremental_max_fanout_factor"] > 4.0 + 1e-9:
+            failures.append(
+                f"{row['sinks']} sinks: incremental max fanout factor "
+                f"{row['incremental_max_fanout_factor']:.3f} above the "
+                "factor-4 bound"
+            )
+        # The wall-clock gate only applies to the full-size run: at smoke
+        # sizes fixed overhead (diff, partition, audit) dominates both sides.
+        if not record.smoke and row["speedup_vs_scratch"] < 10.0:
+            failures.append(
+                f"{row['sinks']} sinks: incremental update only "
+                f"{row['speedup_vs_scratch']:.1f}x faster than from-scratch "
+                "(>= 10x required at full size)"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="i1",
+        suites=("scale", "perf"),
+        title="I1: incremental update vs from-scratch re-design "
+        "(5% sink churn, internet-scale workload)",
+        task_fn=i1_task,
+        make_tasks=i1_tasks,
+        policies={
+            "incremental_cost": MetricPolicy("lower", rel_tol=0.05),
+            "scratch_cost": MetricPolicy("lower", rel_tol=0.05),
+            "incremental_vs_scratch_cost_ratio": MetricPolicy("lower", abs_tol=0.05),
+            "incremental_unserved": MetricPolicy("equal", rel_tol=0.0),
+            "dirty_shards": MetricPolicy("equal", rel_tol=0.0),
+            "incremental_min_weight_fraction": MetricPolicy("higher", abs_tol=0.05),
+            "incremental_max_fanout_factor": MetricPolicy("lower", abs_tol=0.25),
+        },
+        validate=i1_validate,
+        artifact="I1_incremental_churn",
+        columns=[
+            "sinks",
+            "sinks_added",
+            "sinks_removed",
+            "dirty_shards",
+            "num_shards",
+            "incremental_cost",
+            "scratch_cost",
+            "incremental_vs_scratch_cost_ratio",
+            "incremental_unserved",
+            "incremental_seconds",
+            "scratch_seconds",
+            "speedup_vs_scratch",
+        ],
+        description="Cost parity (<= 1.05x) and wall-clock speedup (>= 10x full "
+        "size) of the incremental engine against a from-scratch sharded run "
+        "after 5% sink churn.",
+    )
+)

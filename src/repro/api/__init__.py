@@ -72,6 +72,10 @@ from repro.api.types import (
 # Register the built-in strategies (import has the side effect).
 import repro.api.designers  # noqa: E402,F401  isort:skip
 
+# The incremental engine rides the registry/batch machinery above, so its
+# import must come after the built-ins are registered.
+from repro.incremental.engine import design_incremental  # noqa: E402  isort:skip
+
 __all__ = [
     "SCHEMA_VERSION",
     "AuditStage",
@@ -90,6 +94,7 @@ __all__ = [
     "SolveStage",
     "comparison_designers",
     "design_batch",
+    "design_incremental",
     "designer_names",
     "dump_requests_jsonl",
     "dump_results_jsonl",

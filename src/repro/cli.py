@@ -14,6 +14,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli batch    --requests requests.jsonl --jobs 4 \
                                  --out results.jsonl
     python -m repro.cli evaluate --problem instance.json --solution design.json
+    python -m repro.cli update   --problem instance.json --solution design.json \
+                                 --new-problem churned.json --out updated.json
+    python -m repro.cli update   --problem instance.json --solution design.json \
+                                 --event sink-churn --churn-seed 3 \
+                                 --delta-out delta.json
     python -m repro.cli simulate --problem instance.json --solution design.json \
                                  --packets 20000
     python -m repro.cli simulate --problem instance.json --solution design.json \
@@ -25,8 +30,11 @@ Usage (after ``pip install -e .``)::
 
 ``design``/``compare`` resolve strategies through the :mod:`repro.api`
 registry (``--strategy``), ``compare`` iterates every registered comparison
-baseline, and ``batch`` fans a JSON-lines file of design-request documents
-out over worker processes (:func:`repro.api.design_batch`).
+baseline, ``batch`` fans a JSON-lines file of design-request documents
+out over worker processes (:func:`repro.api.design_batch`), and ``update``
+re-designs a standing solution incrementally after churn
+(:func:`repro.api.design_incremental`) -- the change arrives as a new
+problem JSON, a serialized delta document, or a sampled churn event.
 
 Every subcommand prints a human-readable table; files are the JSON documents
 defined in :mod:`repro.core.serialization` (problems/solutions),
@@ -241,6 +249,93 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     audit = audit_solution(problem, solution)
     rows = [{"metric": key, "value": value} for key, value in {**solution.summary(), **audit.summary()}.items()]
     print(format_table(rows, title=f"evaluation of {args.solution}"))
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.runner import resolve_jobs
+    from repro.api import design_incremental
+    from repro.incremental import (
+        apply_delta,
+        churn_stream,
+        delta_from_dict,
+        delta_to_dict,
+        diff_problems,
+    )
+
+    sources = sum(bool(s) for s in (args.new_problem, args.delta, args.event))
+    if sources != 1:
+        print(
+            "error: exactly one of --new-problem, --delta, --event is required",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    problem = load_problem(args.problem)
+    solution = load_solution(args.solution, problem)
+
+    try:
+        if args.delta:
+            with open(args.delta, "r", encoding="utf-8") as handle:
+                delta = delta_from_dict(json.load(handle))
+            new_problem = apply_delta(problem, delta)
+        elif args.event:
+            ((_event, delta, new_problem),) = list(
+                churn_stream(problem, [args.event], seed=args.churn_seed)
+            )
+        else:
+            new_problem = load_problem(args.new_problem)
+            delta = diff_problems(problem, new_problem)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    parameters = DesignParameters(seed=args.seed)
+    try:
+        result = design_incremental(
+            solution,
+            new_problem,
+            parameters=parameters,
+            strategy=args.strategy,
+            options={
+                "shards": args.shards,
+                "jobs": jobs,
+                "partitioner": args.partitioner,
+                "resolve": args.resolve,
+                "full_redesign_threshold": args.full_redesign_threshold,
+            },
+            previous_problem=problem,
+            delta=delta,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        dump_solution(result.solution, args.out)
+    if args.delta_out:
+        with open(args.delta_out, "w", encoding="utf-8") as handle:
+            json.dump(delta_to_dict(delta), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    summary = result.summary()
+    rows = [
+        {"metric": key, "value": value}
+        for key, value in summary.items()
+        if key != "stage_seconds"
+    ]
+    print(format_table(rows, title=f"incremental update of {problem.name}"))
+    if args.out:
+        print(f"\nwrote updated design to {args.out}")
+    if args.delta_out:
+        print(f"wrote delta document to {args.delta_out}")
     return 0
 
 
@@ -701,6 +796,59 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--problem", required=True)
     evaluate.add_argument("--solution", required=True)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    from repro.incremental import CHURN_EVENTS
+
+    update = sub.add_parser(
+        "update",
+        help="incrementally re-design a standing solution after churn "
+        "(new problem JSON, delta document, or sampled churn event)",
+    )
+    update.add_argument("--problem", required=True, help="pre-churn problem JSON path")
+    update.add_argument(
+        "--solution", required=True, help="standing design solution JSON path"
+    )
+    update.add_argument("--new-problem", help="post-churn problem JSON path")
+    update.add_argument("--delta", help="problem-delta document JSON path")
+    update.add_argument(
+        "--event",
+        choices=list(CHURN_EVENTS),
+        help="sample one churn event of this kind instead of loading a file",
+    )
+    update.add_argument(
+        "--churn-seed", type=int, default=0, help="seed for --event sampling"
+    )
+    update.add_argument("--seed", type=int, default=0)
+    update.add_argument(
+        "--strategy",
+        default=None,
+        help="inner per-shard strategy (default: derived from the standing "
+        "design, else spaa03)",
+    )
+    update.add_argument("--shards", default="auto")
+    update.add_argument(
+        "--jobs", default="1", help="worker processes: a number or 'auto' (default: 1)"
+    )
+    update.add_argument(
+        "--partitioner", default="auto", choices=["auto", "metro", "isp", "hash"]
+    )
+    update.add_argument(
+        "--resolve",
+        default="residual",
+        choices=["residual", "full"],
+        help="re-solve dirty shards as residual subproblems (default) or whole",
+    )
+    update.add_argument(
+        "--full-redesign-threshold",
+        type=float,
+        default=0.8,
+        help="dirty-shard fraction above which a full redesign runs instead",
+    )
+    update.add_argument("--out", help="output solution JSON path")
+    update.add_argument(
+        "--delta-out", help="also write the applied delta as a JSON document"
+    )
+    update.set_defaults(func=_cmd_update)
 
     compare = sub.add_parser(
         "compare", help="compare a strategy against every registered comparison baseline"

@@ -12,6 +12,7 @@ what the CLI (:mod:`repro.cli`) reads and writes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -183,6 +184,61 @@ def load_solution(path: str, problem: OverlayDesignProblem) -> OverlaySolution:
     """Read a solution from a JSON file (needs the matching problem)."""
     with open(path, "r", encoding="utf-8") as handle:
         return solution_from_dict(json.load(handle), problem)
+
+
+def canonical_digest(document: Any, *, places: int = 9, length: int = 16) -> str:
+    """Stable short digest of a JSON-compatible document.
+
+    Floats are rounded to ``places`` decimal places and dictionary keys are
+    sorted before hashing, so the digest is insensitive to insertion order
+    and to sub-ULP float noise -- the same convention the golden regression
+    corpus uses.  Two documents with equal digests are, for regression
+    purposes, the same document.
+    """
+
+    def canonical(obj: Any) -> Any:
+        if isinstance(obj, float):
+            return round(float(obj), places)
+        if isinstance(obj, dict):
+            return {str(k): canonical(v) for k, v in sorted(obj.items())}
+        if isinstance(obj, (list, tuple)):
+            return [canonical(v) for v in obj]
+        return obj
+
+    payload = json.dumps(canonical(document), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:length]
+
+
+def problem_digest(problem: OverlayDesignProblem) -> str:
+    """Canonical content digest of a problem (name excluded).
+
+    Ignores the instance's ``name`` and the order entities were added in:
+    two problems describing the same network (same streams, reflectors,
+    sinks, edges, demands) digest identically even if they were built in
+    different orders -- which is what makes the digest useful for checking
+    delta round-trips (``apply(apply(P, d), invert(d)) == P``).
+    """
+    document = problem_to_dict(problem)
+    document.pop("name", None)
+    for key in ("streams", "reflectors", "stream_edges", "delivery_edges", "demands"):
+        document[key] = sorted(
+            document[key], key=lambda entry: json.dumps(entry, sort_keys=True)
+        )
+    document["sinks"] = sorted(document["sinks"])
+    return canonical_digest(document)
+
+
+def solution_digest(solution: OverlaySolution) -> str:
+    """Canonical digest of a solution's observable outcome.
+
+    Covers the assignments, builds, deliveries, and cost summary -- not the
+    free-form metadata (which records provenance such as timings or the
+    algorithm label, and legitimately differs between equivalent runs).
+    """
+    document = solution_to_dict(solution)
+    document.pop("metadata", None)
+    document.pop("problem_name", None)
+    return canonical_digest(document)
 
 
 def check_document(

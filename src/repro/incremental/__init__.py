@@ -1,0 +1,79 @@
+"""Incremental re-design for live churn.
+
+The paper's designs serve *live* streaming: sinks join and leave, measured
+link losses drift, flash crowds and outages hit mid-session.  Re-running the
+full designer on every change works ("reasonably fast so it can be rerun as
+often as needed", Section 1.3) but wastes almost all of its work when the
+change is local.  This subpackage re-solves only what changed:
+
+* :mod:`repro.incremental.delta` -- :class:`ProblemDelta`, an invertible
+  structural diff between two problem states, with JSON serialization;
+* :mod:`repro.incremental.impact` -- the delta's blast radius: affected
+  demands and the dirty shards of the :mod:`repro.scale` partition;
+* :mod:`repro.incremental.engine` -- :func:`design_incremental`, the
+  warm-started re-solve (fix unaffected assignments, re-run dirty shards,
+  splice via the stitch stage's audit/repair pass);
+* :mod:`repro.incremental.churn` -- adapters turning failure-catalogue
+  events and a sink join/leave process into delta streams.
+
+Entry points: ``repro.api.design_incremental`` and the ``repro update`` CLI
+subcommand.  See ``docs/incremental.md`` for the delta model, the
+dirty-shard rule, the determinism contract, and the full-redesign fallback.
+"""
+
+from repro.incremental.churn import (
+    CHURN_EVENTS,
+    SinkChurnConfig,
+    churn_stream,
+    delta_from_failure_schedule,
+    ensure_feasible,
+    flash_crowd_delta,
+    outage_delta,
+    sample_sink_churn,
+)
+from repro.incremental.delta import (
+    DELTA_FORMAT_VERSION,
+    DeliveryEdgeSpec,
+    ProblemDelta,
+    SinkAttachment,
+    StreamEdgeSpec,
+    apply_delta,
+    delta_from_dict,
+    delta_to_dict,
+    diff_problems,
+    invert_delta,
+    sink_attachment,
+)
+from repro.incremental.engine import INCREMENTAL_PREFIX, design_incremental
+from repro.incremental.impact import (
+    ImpactReport,
+    affected_demand_keys,
+    analyze_impact,
+)
+
+__all__ = [
+    "CHURN_EVENTS",
+    "DELTA_FORMAT_VERSION",
+    "DeliveryEdgeSpec",
+    "INCREMENTAL_PREFIX",
+    "ImpactReport",
+    "ProblemDelta",
+    "SinkAttachment",
+    "SinkChurnConfig",
+    "StreamEdgeSpec",
+    "affected_demand_keys",
+    "analyze_impact",
+    "apply_delta",
+    "churn_stream",
+    "delta_from_dict",
+    "delta_from_failure_schedule",
+    "delta_to_dict",
+    "design_incremental",
+    "diff_problems",
+    "ensure_feasible",
+    "flash_crowd_delta",
+    "invert_delta",
+    "outage_delta",
+    "sample_sink_churn",
+    "sink_attachment",
+]

@@ -1,0 +1,558 @@
+"""Structural diffs between two overlay design problems.
+
+Live streaming churns: sinks join and leave mid-session, measured link loss
+and transit cost drift, and demand thresholds move when a flash crowd raises
+the stakes on a region.  The paper's answer is to re-run the designer "as
+often as needed" (Section 1.3); :mod:`repro.incremental` makes that cheap by
+re-solving only what a change touches.  This module defines the change
+itself: a :class:`ProblemDelta` is a self-contained, invertible description
+of how one :class:`~repro.core.problem.OverlayDesignProblem` became another.
+
+The delta model is deliberately scoped to the churn the engine can absorb
+incrementally:
+
+* **sinks added / removed** -- each carries its full attachment (delivery
+  edges and demands), so removals are invertible and additions are
+  self-contained;
+* **delivery-edge changes** -- loss/cost/capacity drift on existing
+  reflector->sink links, including edges appearing or disappearing on
+  surviving sinks;
+* **stream-edge changes** -- loss/cost drift on origin->reflector links;
+* **demand changes** -- demands added, removed, or re-thresholded on
+  surviving sinks (threshold moves are the "demand weight changes" of the
+  delta model: ``W = -log(1 - threshold)``).
+
+Anything else -- streams or reflectors appearing/disappearing, reflector
+cost/fanout/color/capacity changes, stream bandwidth changes -- is recorded
+as a *structural* change: the delta still describes it (as a reason string),
+but :func:`apply_delta` refuses it and the engine falls back to a full
+redesign.  See ``docs/incremental.md`` for the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.serialization import check_document
+
+#: Version written into every delta document; bump on breaking changes.
+DELTA_FORMAT_VERSION = 1
+
+DemandKey = tuple[str, str]
+LinkKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DeliveryEdgeSpec:
+    """The full data of one reflector->sink delivery edge."""
+
+    loss_probability: float
+    cost: float
+    stream_costs: tuple[tuple[str, float], ...] = ()
+    capacity: float | None = None
+
+    def stream_costs_dict(self) -> dict[str, float] | None:
+        return dict(self.stream_costs) or None
+
+
+@dataclass(frozen=True)
+class StreamEdgeSpec:
+    """The data of one stream->reflector edge."""
+
+    loss_probability: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class SinkAttachment:
+    """Everything needed to (re)attach a sink: its edges and its demands."""
+
+    delivery: tuple[tuple[str, DeliveryEdgeSpec], ...] = ()
+    demands: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class ProblemDelta:
+    """An invertible structural diff between two problem states.
+
+    All mappings are keyed on names (sinks, ``(reflector, sink)`` links,
+    ``(stream, reflector)`` edges, ``(sink, stream)`` demands); changed
+    entries carry ``(old, new)`` pairs where ``None`` means absent, which is
+    what makes :func:`invert` a pure swap.
+    """
+
+    sinks_added: Mapping[str, SinkAttachment] = field(default_factory=dict)
+    sinks_removed: Mapping[str, SinkAttachment] = field(default_factory=dict)
+    delivery_changed: Mapping[
+        LinkKey, tuple[DeliveryEdgeSpec | None, DeliveryEdgeSpec | None]
+    ] = field(default_factory=dict)
+    stream_edges_changed: Mapping[
+        LinkKey, tuple[StreamEdgeSpec | None, StreamEdgeSpec | None]
+    ] = field(default_factory=dict)
+    demands_changed: Mapping[DemandKey, tuple[float | None, float | None]] = field(
+        default_factory=dict
+    )
+    structural: tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.sinks_added
+            or self.sinks_removed
+            or self.delivery_changed
+            or self.stream_edges_changed
+            or self.demands_changed
+            or self.structural
+        )
+
+    @property
+    def requires_full_redesign(self) -> bool:
+        """True when the change falls outside the incremental delta model."""
+        return bool(self.structural)
+
+    def summary(self) -> dict[str, int]:
+        """Entry counts per change class (for metadata and logging)."""
+        return {
+            "sinks_added": len(self.sinks_added),
+            "sinks_removed": len(self.sinks_removed),
+            "delivery_changed": len(self.delivery_changed),
+            "stream_edges_changed": len(self.stream_edges_changed),
+            "demands_changed": len(self.demands_changed),
+            "structural": len(self.structural),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+
+
+def _delivery_specs(problem: OverlayDesignProblem) -> dict[LinkKey, DeliveryEdgeSpec]:
+    overrides = problem.delivery_stream_cost_overrides()
+    capacities = problem.arc_capacities()
+    specs: dict[LinkKey, DeliveryEdgeSpec] = {}
+    for reflector, sink, loss, base_cost in problem.delivery_link_data():
+        key = (reflector, sink)
+        specs[key] = DeliveryEdgeSpec(
+            loss_probability=loss,
+            cost=base_cost,
+            stream_costs=tuple(sorted((overrides.get(key) or {}).items())),
+            capacity=capacities.get(key),
+        )
+    return specs
+
+
+def _stream_specs(problem: OverlayDesignProblem) -> dict[LinkKey, StreamEdgeSpec]:
+    return {
+        (edge.stream, edge.reflector): StreamEdgeSpec(edge.loss_probability, edge.cost)
+        for edge in problem.stream_edges()
+    }
+
+
+def _demand_thresholds(problem: OverlayDesignProblem) -> dict[DemandKey, float]:
+    return {demand.key: demand.success_threshold for demand in problem.demands}
+
+
+def sink_attachment(
+    problem: OverlayDesignProblem,
+    sink: str,
+    delivery_specs: Mapping[LinkKey, DeliveryEdgeSpec] | None = None,
+) -> SinkAttachment:
+    """Capture ``sink``'s full attachment (edges + demands) from ``problem``."""
+    if delivery_specs is None:
+        delivery_specs = _delivery_specs(problem)
+    delivery = tuple(
+        sorted(
+            (reflector, spec)
+            for (reflector, edge_sink), spec in delivery_specs.items()
+            if edge_sink == sink
+        )
+    )
+    demands = tuple(
+        sorted(
+            (demand.stream, demand.success_threshold)
+            for demand in problem.demands
+            if demand.sink == sink
+        )
+    )
+    return SinkAttachment(delivery=delivery, demands=demands)
+
+
+def diff_problems(
+    old: OverlayDesignProblem, new: OverlayDesignProblem
+) -> ProblemDelta:
+    """Diff two problem states into a :class:`ProblemDelta`.
+
+    The diff is content-based: entity insertion order and the problems'
+    ``name`` fields are ignored.  Changes outside the delta model land in
+    ``structural`` (making ``requires_full_redesign`` true) rather than
+    failing, so callers can always diff first and decide second.
+    """
+    structural: list[str] = []
+
+    old_streams, new_streams = set(old.streams), set(new.streams)
+    for stream in sorted(new_streams - old_streams):
+        structural.append(f"stream added: {stream}")
+    for stream in sorted(old_streams - new_streams):
+        structural.append(f"stream removed: {stream}")
+    for stream in sorted(old_streams & new_streams):
+        if old.stream_bandwidth(stream) != new.stream_bandwidth(stream):
+            structural.append(f"stream bandwidth changed: {stream}")
+
+    old_reflectors, new_reflectors = set(old.reflectors), set(new.reflectors)
+    for reflector in sorted(new_reflectors - old_reflectors):
+        structural.append(f"reflector added: {reflector}")
+    for reflector in sorted(old_reflectors - new_reflectors):
+        structural.append(f"reflector removed: {reflector}")
+    for reflector in sorted(old_reflectors & new_reflectors):
+        if old.reflector_info(reflector) != new.reflector_info(reflector):
+            structural.append(f"reflector attributes changed: {reflector}")
+
+    old_sinks, new_sinks = set(old.sinks), set(new.sinks)
+    old_delivery = _delivery_specs(old)
+    new_delivery = _delivery_specs(new)
+    sinks_added = {
+        sink: sink_attachment(new, sink, new_delivery)
+        for sink in sorted(new_sinks - old_sinks)
+    }
+    sinks_removed = {
+        sink: sink_attachment(old, sink, old_delivery)
+        for sink in sorted(old_sinks - new_sinks)
+    }
+    surviving = old_sinks & new_sinks
+
+    delivery_changed: dict[LinkKey, tuple[DeliveryEdgeSpec | None, DeliveryEdgeSpec | None]] = {}
+    for key in sorted(set(old_delivery) | set(new_delivery)):
+        _reflector, sink = key
+        if sink not in surviving:
+            continue  # carried by the sink attachment instead
+        before, after = old_delivery.get(key), new_delivery.get(key)
+        if before != after:
+            delivery_changed[key] = (before, after)
+
+    old_edges, new_edges = _stream_specs(old), _stream_specs(new)
+    stream_edges_changed: dict[LinkKey, tuple[StreamEdgeSpec | None, StreamEdgeSpec | None]] = {}
+    for key in sorted(set(old_edges) | set(new_edges)):
+        stream, reflector = key
+        if stream not in (old_streams & new_streams) or reflector not in (
+            old_reflectors & new_reflectors
+        ):
+            continue  # already a structural change
+        before, after = old_edges.get(key), new_edges.get(key)
+        if before != after:
+            stream_edges_changed[key] = (before, after)
+
+    old_demands, new_demands = _demand_thresholds(old), _demand_thresholds(new)
+    demands_changed: dict[DemandKey, tuple[float | None, float | None]] = {}
+    for key in sorted(set(old_demands) | set(new_demands)):
+        sink, _stream = key
+        if sink not in surviving:
+            continue  # carried by the sink attachment instead
+        before, after = old_demands.get(key), new_demands.get(key)
+        if before != after:
+            demands_changed[key] = (before, after)
+
+    return ProblemDelta(
+        sinks_added=sinks_added,
+        sinks_removed=sinks_removed,
+        delivery_changed=delivery_changed,
+        stream_edges_changed=stream_edges_changed,
+        demands_changed=demands_changed,
+        structural=tuple(structural),
+    )
+
+
+def invert_delta(delta: ProblemDelta) -> ProblemDelta:
+    """The delta taking the *new* state back to the *old* one.
+
+    ``diff(a, b)`` inverted equals ``diff(b, a)``; applying a delta and then
+    its inverse is a content-exact round trip (checked by the property
+    suite via :func:`repro.core.serialization.problem_digest`).
+    """
+    return ProblemDelta(
+        sinks_added=dict(delta.sinks_removed),
+        sinks_removed=dict(delta.sinks_added),
+        delivery_changed={
+            key: (after, before)
+            for key, (before, after) in delta.delivery_changed.items()
+        },
+        stream_edges_changed={
+            key: (after, before)
+            for key, (before, after) in delta.stream_edges_changed.items()
+        },
+        demands_changed={
+            key: (after, before)
+            for key, (before, after) in delta.demands_changed.items()
+        },
+        structural=delta.structural,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Applying
+# ---------------------------------------------------------------------------
+
+
+def apply_delta(
+    problem: OverlayDesignProblem, delta: ProblemDelta, name: str | None = None
+) -> OverlayDesignProblem:
+    """Apply ``delta`` to ``problem``, producing the new problem state.
+
+    Raises ``ValueError`` when the delta records structural changes (those
+    require rebuilding the problem at the source) or when a changed entry's
+    *old* side disagrees with ``problem`` (a stale delta).  The result is
+    rebuilt in canonical sorted order, so applying a delta and then its
+    inverse reproduces the original problem content-exactly.
+    """
+    if delta.requires_full_redesign:
+        raise ValueError(
+            "delta records structural changes and cannot be applied "
+            f"incrementally: {'; '.join(delta.structural)}"
+        )
+
+    sinks = set(problem.sinks)
+    for sink in delta.sinks_added:
+        if sink in sinks:
+            raise ValueError(f"delta adds sink {sink!r} which already exists")
+    for sink in delta.sinks_removed:
+        if sink not in sinks:
+            raise ValueError(f"delta removes sink {sink!r} which does not exist")
+    sinks = (sinks - set(delta.sinks_removed)) | set(delta.sinks_added)
+
+    delivery = _delivery_specs(problem)
+    for sink, attachment in delta.sinks_removed.items():
+        for reflector, _spec in attachment.delivery:
+            delivery.pop((reflector, sink), None)
+    for sink, attachment in delta.sinks_added.items():
+        for reflector, spec in attachment.delivery:
+            delivery[(reflector, sink)] = spec
+    for key, (before, after) in delta.delivery_changed.items():
+        if delivery.get(key) != before:
+            raise ValueError(f"stale delta: delivery edge {key} is not {before}")
+        if after is None:
+            delivery.pop(key, None)
+        else:
+            delivery[key] = after
+
+    stream_edges = _stream_specs(problem)
+    for key, (before, after) in delta.stream_edges_changed.items():
+        if stream_edges.get(key) != before:
+            raise ValueError(f"stale delta: stream edge {key} is not {before}")
+        if after is None:
+            stream_edges.pop(key, None)
+        else:
+            stream_edges[key] = after
+
+    demands = _demand_thresholds(problem)
+    for sink, attachment in delta.sinks_removed.items():
+        for stream, _threshold in attachment.demands:
+            demands.pop((sink, stream), None)
+    for sink, attachment in delta.sinks_added.items():
+        for stream, threshold in attachment.demands:
+            demands[(sink, stream)] = threshold
+    for key, (before, after) in delta.demands_changed.items():
+        if demands.get(key) != before:
+            raise ValueError(f"stale delta: demand {key} threshold is not {before}")
+        if after is None:
+            demands.pop(key, None)
+        else:
+            demands[key] = after
+
+    result = OverlayDesignProblem(name=name or problem.name)
+    for stream in sorted(problem.streams):
+        result.add_stream(stream, bandwidth=problem.stream_bandwidth(stream))
+    for reflector in sorted(problem.reflectors):
+        info = problem.reflector_info(reflector)
+        result.add_reflector(
+            reflector,
+            cost=info.cost,
+            fanout=info.fanout,
+            color=info.color,
+            capacity=info.capacity,
+        )
+    for sink in sorted(sinks):
+        result.add_sink(sink)
+    for (stream, reflector), spec in sorted(stream_edges.items()):
+        result.add_stream_edge(stream, reflector, spec.loss_probability, spec.cost)
+    for (reflector, sink), spec in sorted(delivery.items()):
+        result.add_delivery_edge(
+            reflector,
+            sink,
+            loss_probability=spec.loss_probability,
+            cost=spec.cost,
+            stream_costs=spec.stream_costs_dict(),
+            capacity=spec.capacity,
+        )
+    for (sink, stream), threshold in sorted(demands.items()):
+        result.add_demand(sink, stream, success_threshold=threshold)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _spec_to_dict(spec: DeliveryEdgeSpec | None) -> dict[str, Any] | None:
+    if spec is None:
+        return None
+    return {
+        "loss_probability": spec.loss_probability,
+        "cost": spec.cost,
+        "stream_costs": {stream: cost for stream, cost in spec.stream_costs},
+        "capacity": spec.capacity,
+    }
+
+
+def _spec_from_dict(data: dict[str, Any] | None) -> DeliveryEdgeSpec | None:
+    if data is None:
+        return None
+    return DeliveryEdgeSpec(
+        loss_probability=data["loss_probability"],
+        cost=data["cost"],
+        stream_costs=tuple(sorted((data.get("stream_costs") or {}).items())),
+        capacity=data.get("capacity"),
+    )
+
+
+def _stream_spec_to_dict(spec: StreamEdgeSpec | None) -> dict[str, Any] | None:
+    if spec is None:
+        return None
+    return {"loss_probability": spec.loss_probability, "cost": spec.cost}
+
+
+def _stream_spec_from_dict(data: dict[str, Any] | None) -> StreamEdgeSpec | None:
+    if data is None:
+        return None
+    return StreamEdgeSpec(loss_probability=data["loss_probability"], cost=data["cost"])
+
+
+def _attachment_to_dict(attachment: SinkAttachment) -> dict[str, Any]:
+    return {
+        "delivery": [
+            {"reflector": reflector, **_spec_to_dict(spec)}
+            for reflector, spec in attachment.delivery
+        ],
+        "demands": [
+            {"stream": stream, "success_threshold": threshold}
+            for stream, threshold in attachment.demands
+        ],
+    }
+
+
+def _attachment_from_dict(data: dict[str, Any]) -> SinkAttachment:
+    delivery = tuple(
+        sorted(
+            (
+                entry["reflector"],
+                DeliveryEdgeSpec(
+                    loss_probability=entry["loss_probability"],
+                    cost=entry["cost"],
+                    stream_costs=tuple(sorted((entry.get("stream_costs") or {}).items())),
+                    capacity=entry.get("capacity"),
+                ),
+            )
+            for entry in data.get("delivery", [])
+        )
+    )
+    demands = tuple(
+        sorted(
+            (entry["stream"], entry["success_threshold"])
+            for entry in data.get("demands", [])
+        )
+    )
+    return SinkAttachment(delivery=delivery, demands=demands)
+
+
+def delta_to_dict(delta: ProblemDelta) -> dict[str, Any]:
+    """Encode a delta as a versioned JSON-compatible document."""
+    return {
+        "format_version": DELTA_FORMAT_VERSION,
+        "kind": "problem-delta",
+        "sinks_added": {
+            sink: _attachment_to_dict(attachment)
+            for sink, attachment in sorted(delta.sinks_added.items())
+        },
+        "sinks_removed": {
+            sink: _attachment_to_dict(attachment)
+            for sink, attachment in sorted(delta.sinks_removed.items())
+        },
+        "delivery_changed": [
+            {
+                "reflector": reflector,
+                "sink": sink,
+                "old": _spec_to_dict(before),
+                "new": _spec_to_dict(after),
+            }
+            for (reflector, sink), (before, after) in sorted(
+                delta.delivery_changed.items()
+            )
+        ],
+        "stream_edges_changed": [
+            {
+                "stream": stream,
+                "reflector": reflector,
+                "old": _stream_spec_to_dict(before),
+                "new": _stream_spec_to_dict(after),
+            }
+            for (stream, reflector), (before, after) in sorted(
+                delta.stream_edges_changed.items()
+            )
+        ],
+        "demands_changed": [
+            {"sink": sink, "stream": stream, "old": before, "new": after}
+            for (sink, stream), (before, after) in sorted(delta.demands_changed.items())
+        ],
+        "structural": list(delta.structural),
+    }
+
+
+def delta_from_dict(data: dict[str, Any]) -> ProblemDelta:
+    """Decode a delta from a :func:`delta_to_dict` document."""
+    check_document(data, "problem-delta", version=DELTA_FORMAT_VERSION)
+    return ProblemDelta(
+        sinks_added={
+            sink: _attachment_from_dict(entry)
+            for sink, entry in data.get("sinks_added", {}).items()
+        },
+        sinks_removed={
+            sink: _attachment_from_dict(entry)
+            for sink, entry in data.get("sinks_removed", {}).items()
+        },
+        delivery_changed={
+            (entry["reflector"], entry["sink"]): (
+                _spec_from_dict(entry.get("old")),
+                _spec_from_dict(entry.get("new")),
+            )
+            for entry in data.get("delivery_changed", [])
+        },
+        stream_edges_changed={
+            (entry["stream"], entry["reflector"]): (
+                _stream_spec_from_dict(entry.get("old")),
+                _stream_spec_from_dict(entry.get("new")),
+            )
+            for entry in data.get("stream_edges_changed", [])
+        },
+        demands_changed={
+            (entry["sink"], entry["stream"]): (entry.get("old"), entry.get("new"))
+            for entry in data.get("demands_changed", [])
+        },
+        structural=tuple(data.get("structural", [])),
+    )
+
+
+__all__ = [
+    "DELTA_FORMAT_VERSION",
+    "DeliveryEdgeSpec",
+    "ProblemDelta",
+    "SinkAttachment",
+    "StreamEdgeSpec",
+    "apply_delta",
+    "delta_from_dict",
+    "delta_to_dict",
+    "diff_problems",
+    "invert_delta",
+    "sink_attachment",
+]

@@ -1,0 +1,464 @@
+"""The incremental re-design engine: warm-started re-solve of dirty shards.
+
+:func:`design_incremental` turns a standing design plus a changed problem
+into an updated design without paying for a from-scratch run.  It follows
+the fix-integral-variables-and-re-solve idiom of iterative LP rounding: the
+assignments of demands the change cannot touch are *fixed* (carried over
+verbatim), and only the dirty shards of the :mod:`repro.scale` partition go
+back through the Formulate/Solve/Round stages -- either whole
+(``resolve="full"``) or as a *residual* subproblem of just the affected
+demands against the fanout budget the kept assignments leave behind
+(``resolve="residual"``, the default).  The re-solved pieces are then
+spliced into the standing design by the regular stitch stage, whose fanout
+rebalance + global repair pass is exactly the cross-shard audit/repair the
+splice needs, and the merged design is re-audited against the full problem.
+
+Determinism matches the sharded pipeline: the partition is a pure function
+of the new problem, per-shard seeds derive from the request seed and the
+shard *index* (so a dirty shard re-solved incrementally sees the same seed a
+from-scratch sharded run would give it), the batch executor preserves shard
+order, and the stitch draws no randomness -- hence bit-identical results
+across ``jobs`` settings.
+
+Fallbacks to a full redesign (the result's ``incremental_fallback`` metadata
+records which): structural deltas (streams/reflectors changed -- outside the
+delta model), and dirty-shard fractions above ``full_redesign_threshold``
+(re-solving almost everything incrementally costs more than starting over).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.analysis.audit import audit_solution
+from repro.api.batch import design_batch
+from repro.api.registry import RegisteredDesigner, get_designer
+from repro.api.types import (
+    DesignRequest,
+    DesignResult,
+    parameters_from_dict,
+    parameters_to_dict,
+)
+from repro.core.algorithm import DesignParameters
+from repro.core.problem import OverlayDesignProblem
+from repro.core.solution import OverlaySolution
+from repro.incremental.delta import ProblemDelta, diff_problems
+from repro.incremental.impact import analyze_impact
+from repro.scale.partition import build_partition, extract_shard_problem
+from repro.scale.pipeline import SHARDED_PREFIX, shard_seed
+from repro.scale.stitch import stitch_assignments
+
+#: Strategy-name prefix stamped on incremental results.
+INCREMENTAL_PREFIX = "incremental:"
+
+_OPTION_DEFAULTS = {
+    "shards": "auto",
+    "jobs": 1,
+    "partitioner": "auto",
+    "stitch_repair": True,
+    "inner_options": {},
+    "resolve": "residual",
+    "full_redesign_threshold": 0.8,
+}
+
+
+def _normalize_options(options: Mapping | None) -> dict:
+    options = dict(options or {})
+    unknown = sorted(set(options) - set(_OPTION_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for design_incremental "
+            f"(accepted: {sorted(_OPTION_DEFAULTS)})"
+        )
+    merged = {**_OPTION_DEFAULTS, **options}
+    if merged["resolve"] not in ("residual", "full"):
+        raise ValueError(
+            f"resolve must be 'residual' or 'full', got {merged['resolve']!r}"
+        )
+    return merged
+
+
+def _standing_solution(previous: DesignResult | OverlaySolution) -> OverlaySolution:
+    if isinstance(previous, DesignResult):
+        return previous.solution
+    return previous
+
+
+def _inner_strategy(
+    previous: DesignResult | OverlaySolution, strategy: str | None
+) -> RegisteredDesigner:
+    """Resolve the inner (per-shard) strategy, defaulting from the standing result."""
+    name = strategy
+    if name is None and isinstance(previous, DesignResult):
+        name = previous.strategy
+    if name is None:
+        name = "spaa03"
+    for prefix in (INCREMENTAL_PREFIX, SHARDED_PREFIX):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    inner = get_designer(name)
+    if not inner.produces_solution:
+        raise ValueError(
+            f"inner strategy {name!r} produces no integral design (bound only), "
+            "so there is nothing to re-solve incrementally"
+        )
+    return inner
+
+
+def _full_redesign(
+    new_problem: OverlayDesignProblem,
+    parameters: DesignParameters,
+    inner: RegisteredDesigner,
+    options: dict,
+    reason: str,
+    extra_seconds: dict[str, float],
+    delta: ProblemDelta,
+    request_id: str | None,
+) -> DesignResult:
+    """Fall back to the from-scratch sharded pipeline (documented escape hatch)."""
+    designer = get_designer(f"{SHARDED_PREFIX}{inner.name}")
+    result = designer.design(
+        DesignRequest(
+            problem=new_problem,
+            parameters=parameters,
+            strategy=designer.name,
+            options={
+                "shards": options["shards"],
+                "jobs": options["jobs"],
+                "partitioner": options["partitioner"],
+                "stitch_repair": options["stitch_repair"],
+                "inner_options": dict(options["inner_options"]),
+            },
+            request_id=request_id,
+        )
+    )
+    result.strategy = f"{INCREMENTAL_PREFIX}{inner.name}"
+    result.stage_seconds = {**extra_seconds, **result.stage_seconds}
+    result.metadata = {
+        **result.metadata,
+        "incremental_fallback": reason,
+        **{f"delta_{k}": v for k, v in delta.summary().items()},
+    }
+    return result
+
+
+def _shard_request(
+    problem: OverlayDesignProblem,
+    inner: RegisteredDesigner,
+    base_parameters: dict,
+    seed: int | None,
+    shard_index: int,
+    inner_options: dict,
+    request_id: str,
+) -> DesignRequest:
+    parameters = dict(base_parameters)
+    parameters["rounding"] = dict(parameters["rounding"])
+    parameters["rounding"]["seed"] = shard_seed(seed, shard_index)
+    return DesignRequest(
+        problem=problem,
+        parameters=parameters_from_dict(parameters),
+        strategy=inner.name,
+        options=dict(inner_options),
+        request_id=request_id,
+    )
+
+
+def design_incremental(
+    previous: DesignResult | OverlaySolution,
+    new_problem: OverlayDesignProblem,
+    parameters: DesignParameters | None = None,
+    strategy: str | None = None,
+    options: Mapping | None = None,
+    previous_problem: OverlayDesignProblem | None = None,
+    delta: ProblemDelta | None = None,
+) -> DesignResult:
+    """Update a standing design for a changed problem, re-solving only churn.
+
+    Parameters
+    ----------
+    previous:
+        The standing design: a :class:`DesignResult` (its strategy seeds the
+        default inner strategy) or a bare :class:`OverlaySolution`.
+    new_problem:
+        The post-churn problem state.
+    parameters:
+        Design parameters for the re-solved shards (``parameters.seed`` is
+        the base of the per-shard seed derivation, exactly as in the sharded
+        pipeline).  Defaults to :class:`DesignParameters()`.
+    strategy:
+        Inner per-shard strategy name; defaults to the standing result's
+        strategy with any ``sharded:``/``incremental:`` prefix stripped,
+        else ``"spaa03"``.
+    options:
+        ``shards``/``jobs``/``partitioner``/``stitch_repair``/
+        ``inner_options`` as in the sharded pipeline, plus ``resolve``
+        (``"residual"`` fixes unaffected in-shard assignments and re-solves
+        only the affected demands; ``"full"`` re-solves whole dirty shards)
+        and ``full_redesign_threshold`` (dirty-shard fraction above which
+        the engine falls back to a from-scratch sharded run).
+    previous_problem:
+        The pre-churn problem; defaults to the standing solution's problem.
+    delta:
+        A precomputed :class:`ProblemDelta` (e.g. from a churn adapter);
+        computed via :func:`diff_problems` when omitted.
+
+    An empty delta returns the standing design bit-identically (same
+    assignments, rebound to ``new_problem``).  The result's metadata carries
+    the impact analysis (`incremental_*`), the delta summary (`delta_*`) and
+    the stitch report (`stitch_*`).
+    """
+    opts = _normalize_options(options)
+    parameters = parameters if parameters is not None else DesignParameters()
+    inner = _inner_strategy(previous, strategy)
+    standing = _standing_solution(previous)
+    if previous_problem is None:
+        previous_problem = standing.problem
+    request_id = previous.request_id if isinstance(previous, DesignResult) else None
+
+    start = time.perf_counter()
+    if delta is None:
+        delta = diff_problems(previous_problem, new_problem)
+    diff_seconds = time.perf_counter() - start
+
+    if delta.requires_full_redesign:
+        return _full_redesign(
+            new_problem,
+            parameters,
+            inner,
+            opts,
+            reason="structural-delta",
+            extra_seconds={"diff": diff_seconds},
+            delta=delta,
+            request_id=request_id,
+        )
+
+    standing_assignments = {
+        key: sorted(reflectors)
+        for key, reflectors in standing.assignments.items()
+        if reflectors
+    }
+
+    if delta.is_empty:
+        solution = OverlaySolution.from_assignments(
+            new_problem, standing_assignments, metadata=dict(standing.metadata)
+        )
+        solution.metadata["algorithm"] = f"{INCREMENTAL_PREFIX}{inner.name}"
+        start = time.perf_counter()
+        audit = audit_solution(new_problem, solution)
+        audit_seconds = time.perf_counter() - start
+        return DesignResult(
+            strategy=f"{INCREMENTAL_PREFIX}{inner.name}",
+            solution=solution,
+            lower_bound=None,
+            stage_seconds={"diff": diff_seconds, "audit": audit_seconds},
+            audit=audit,
+            metadata={
+                "inner_strategy": inner.name,
+                "incremental_identity": True,
+                **{f"delta_{k}": v for k, v in delta.summary().items()},
+            },
+            request_id=request_id,
+        )
+
+    # Lazy plan: shard subproblems are extracted only when touched, and only
+    # dirty shards re-solved whole touch theirs -- clean shards carry their
+    # standing assignments as plain maps and residual re-solves extract their
+    # own subproblem directly from ``new_problem``.  This keeps the update
+    # cost proportional to the churn instead of the instance size.
+    start = time.perf_counter()
+    plan = build_partition(
+        new_problem,
+        partitioner=opts["partitioner"],
+        shards=opts["shards"],
+        materialize=False,
+    )
+    partition_seconds = time.perf_counter() - start
+
+    # Demands the standing design never served must be re-solved too: there
+    # is no assignment to carry over, whatever the delta says.
+    new_keys = {demand.key for demand in new_problem.demands}
+    extra = {key for key in new_keys if key not in standing_assignments}
+    # Departing sinks strand build amortization: a reflector that loses a
+    # third or more of its standing load may no longer be worth building at all,
+    # so the demands still riding it re-solve too.  (Computed over the
+    # standing solution; removing *more* sinks can only grow the per-
+    # reflector removed load, so the rule stays monotone in the delta.)
+    if delta.sinks_removed:
+        removed_sinks = set(delta.sinks_removed)
+        standing_load: dict[str, int] = {}
+        removed_load: dict[str, int] = {}
+        for (key_sink, _stream), reflectors in standing_assignments.items():
+            for reflector in reflectors:
+                standing_load[reflector] = standing_load.get(reflector, 0) + 1
+                if key_sink in removed_sinks:
+                    removed_load[reflector] = removed_load.get(reflector, 0) + 1
+        stranded_reflectors = {
+            reflector
+            for reflector, lost in removed_load.items()
+            if 3 * lost >= standing_load[reflector]
+        }
+        if stranded_reflectors:
+            extra.update(
+                key
+                for key, reflectors in standing_assignments.items()
+                if key in new_keys
+                and any(r in stranded_reflectors for r in reflectors)
+            )
+    impact = analyze_impact(delta, new_problem, plan, extra_affected=extra)
+
+    if impact.dirty_fraction > opts["full_redesign_threshold"]:
+        return _full_redesign(
+            new_problem,
+            parameters,
+            inner,
+            opts,
+            reason="dirty-fraction",
+            extra_seconds={"diff": diff_seconds, "partition": partition_seconds},
+            delta=delta,
+            request_id=request_id,
+        )
+
+    base_parameters = parameters_to_dict(parameters)
+    affected = impact.affected_demands
+    dirty = set(impact.dirty_shards)
+
+    # Builds and stream deliveries the carried assignments already pay for
+    # are sunk: residual subproblems see them at zero cost, so the warm-
+    # started re-solve prefers consolidating onto standing reflectors over
+    # paying for fresh ones it does not need.
+    carried_builds: set[str] = set()
+    carried_deliveries: set[tuple[str, str]] = set()
+    if opts["resolve"] == "residual":
+        for (sink, stream), reflectors in standing_assignments.items():
+            if (sink, stream) in affected or (sink, stream) not in new_keys:
+                continue
+            for reflector in reflectors:
+                carried_builds.add(reflector)
+                carried_deliveries.add((stream, reflector))
+
+    start = time.perf_counter()
+    requests: list[DesignRequest] = []
+    # Per dirty shard: the fixed (carried) assignments merged back after the
+    # batch, or None for a whole-shard re-solve.
+    carried: list[dict | None] = []
+    slots: list[int] = []
+    shard_assignments: list[dict[tuple[str, str], list[str]] | None] = [
+        None
+    ] * plan.num_shards
+    for index, shard in enumerate(plan.shards):
+        if shard.shard_id not in dirty:
+            shard_assignments[index] = {
+                key: standing_assignments[key]
+                for key in shard.demand_keys
+                if key in standing_assignments
+            }
+            continue
+        affected_in_shard = [key for key in shard.demand_keys if key in affected]
+        fixed_keys = [
+            key
+            for key in shard.demand_keys
+            if key not in affected and key in standing_assignments
+        ]
+        if opts["resolve"] == "residual" and fixed_keys:
+            fixed = {key: standing_assignments[key] for key in fixed_keys}
+            fixed_load: dict[str, int] = {}
+            for reflectors in fixed.values():
+                for reflector in reflectors:
+                    fixed_load[reflector] = fixed_load.get(reflector, 0) + 1
+            overrides = {
+                reflector: max(1, new_problem.fanout(reflector) - load)
+                for reflector, load in fixed_load.items()
+            }
+            residual = extract_shard_problem(
+                new_problem,
+                sinks=sorted({sink for sink, _stream in affected_in_shard}),
+                name=f"{new_problem.name}/{shard.shard_id}/residual",
+                demand_keys=set(affected_in_shard),
+                fanout_overrides=overrides,
+                reflector_cost_overrides=dict.fromkeys(carried_builds, 0.0),
+                stream_edge_cost_overrides=dict.fromkeys(carried_deliveries, 0.0),
+            )
+            requests.append(
+                _shard_request(
+                    residual,
+                    inner,
+                    base_parameters,
+                    parameters.rounding.seed,
+                    index,
+                    opts["inner_options"],
+                    request_id=shard.shard_id,
+                )
+            )
+            carried.append(fixed)
+        else:
+            requests.append(
+                _shard_request(
+                    shard.problem,
+                    inner,
+                    base_parameters,
+                    parameters.rounding.seed,
+                    index,
+                    opts["inner_options"],
+                    request_id=shard.shard_id,
+                )
+            )
+            carried.append(None)
+        slots.append(index)
+
+    results = design_batch(requests, jobs=opts["jobs"])
+    for slot, kept, result in zip(slots, carried, results):
+        assignments = {
+            key: sorted(reflectors)
+            for key, reflectors in result.solution.assignments.items()
+        }
+        if kept is not None:
+            assignments.update(kept)
+        shard_assignments[slot] = assignments
+    design_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solution, stitch_report = stitch_assignments(
+        new_problem,
+        plan,
+        shard_assignments,
+        repair=opts["stitch_repair"],
+        fanout_slack=parameters.repair_fanout_slack,
+    )
+    stitch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    audit = audit_solution(new_problem, solution)
+    audit_seconds = time.perf_counter() - start
+
+    solution.metadata["algorithm"] = f"{INCREMENTAL_PREFIX}{inner.name}"
+    metadata = {
+        "inner_strategy": inner.name,
+        "partitioner": plan.partitioner,
+        "jobs": str(opts["jobs"]),
+        "resolve": opts["resolve"],
+        "incremental_reused_assignments": sum(
+            1 for key in standing_assignments if key not in affected
+        ),
+        **impact.as_metadata(),
+        **{f"delta_{k}": v for k, v in delta.summary().items()},
+        **stitch_report.as_metadata(),
+    }
+    return DesignResult(
+        strategy=f"{INCREMENTAL_PREFIX}{inner.name}",
+        solution=solution,
+        lower_bound=None,
+        stage_seconds={
+            "diff": diff_seconds,
+            "partition": partition_seconds,
+            "design_shards": design_seconds,
+            "stitch": stitch_seconds,
+            "audit": audit_seconds,
+        },
+        audit=audit,
+        metadata=metadata,
+        request_id=request_id,
+    )
+
+
+__all__ = ["INCREMENTAL_PREFIX", "design_incremental"]

@@ -1,0 +1,117 @@
+"""Mapping a :class:`ProblemDelta` onto the shard partition: dirty shards.
+
+The sharded pipeline (:mod:`repro.scale`) partitions demands by sink, so a
+delta's blast radius is naturally expressed in demand keys: a shard is
+*dirty* exactly when it contains at least one affected demand, and every
+other shard's standing assignments remain valid verbatim (its demands'
+candidate sets, edge weights and thresholds are untouched by the delta).
+
+The affected-demand rule is deliberately conservative and **monotone**: each
+delta entry contributes a set of demand keys that depends only on that entry
+and the new problem, and the total is the union -- so a superset delta can
+never mark fewer demands (or fewer shards) than a subset.  The property
+suite pins this.
+
+Per-entry contributions (all evaluated against the *new* problem):
+
+* sink added -> every demand of that sink (they must be served from scratch);
+* sink removed -> nothing (capacity is freed, no standing demand changes);
+* delivery edge changed on ``(reflector, sink)`` -> every demand of that
+  sink (its candidate weights/costs moved, or a candidate appeared or
+  disappeared);
+* stream edge changed on ``(stream, reflector)`` -> every demand of that
+  stream whose sink has a delivery edge from that reflector;
+* demand added / re-thresholded -> that demand; demand removed -> nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import OverlayDesignProblem
+from repro.incremental.delta import DemandKey, ProblemDelta
+from repro.scale.partition import PartitionPlan
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Which demands a delta touches and which shards must be re-solved."""
+
+    affected_demands: frozenset[DemandKey] = frozenset()
+    dirty_shards: tuple[str, ...] = ()
+    clean_shards: tuple[str, ...] = ()
+    num_shards: int = 0
+
+    @property
+    def dirty_fraction(self) -> float:
+        if self.num_shards == 0:
+            return 0.0
+        return len(self.dirty_shards) / self.num_shards
+
+    def as_metadata(self) -> dict:
+        """JSON-scalar view for ``DesignResult.metadata``."""
+        return {
+            "incremental_affected_demands": len(self.affected_demands),
+            "incremental_dirty_shards": len(self.dirty_shards),
+            "incremental_clean_shards": len(self.clean_shards),
+            "incremental_dirty_fraction": self.dirty_fraction,
+        }
+
+
+def affected_demand_keys(
+    delta: ProblemDelta, new_problem: OverlayDesignProblem
+) -> frozenset[DemandKey]:
+    """Demand keys of ``new_problem`` whose designs the delta may invalidate."""
+    demands_by_sink: dict[str, list[DemandKey]] = {}
+    for demand in new_problem.demands:
+        demands_by_sink.setdefault(demand.sink, []).append(demand.key)
+    demand_keys = {demand.key for demand in new_problem.demands}
+    sinks_by_reflector: dict[str, set[str]] = {}
+    for reflector, sink in new_problem.delivery_links():
+        sinks_by_reflector.setdefault(reflector, set()).add(sink)
+
+    affected: set[DemandKey] = set()
+    for sink in delta.sinks_added:
+        affected.update(demands_by_sink.get(sink, []))
+    for (_reflector, sink) in delta.delivery_changed:
+        affected.update(demands_by_sink.get(sink, []))
+    for (stream, reflector) in delta.stream_edges_changed:
+        for sink in sinks_by_reflector.get(reflector, ()):
+            key = (sink, stream)
+            if key in demand_keys:
+                affected.add(key)
+    for key in delta.demands_changed:
+        if key in demand_keys:
+            affected.add(key)
+    return frozenset(affected)
+
+
+def analyze_impact(
+    delta: ProblemDelta,
+    new_problem: OverlayDesignProblem,
+    plan: PartitionPlan,
+    extra_affected: frozenset[DemandKey] | set[DemandKey] = frozenset(),
+) -> ImpactReport:
+    """Project a delta onto a partition plan of the *new* problem.
+
+    ``extra_affected`` lets the engine force demands dirty for reasons
+    outside the delta model -- e.g. demands the standing solution never
+    served (so there is nothing to carry over).
+    """
+    affected = frozenset(affected_demand_keys(delta, new_problem) | set(extra_affected))
+    dirty: list[str] = []
+    clean: list[str] = []
+    for shard in plan.shards:
+        if any(key in affected for key in shard.demand_keys):
+            dirty.append(shard.shard_id)
+        else:
+            clean.append(shard.shard_id)
+    return ImpactReport(
+        affected_demands=affected,
+        dirty_shards=tuple(dirty),
+        clean_shards=tuple(clean),
+        num_shards=plan.num_shards,
+    )
+
+
+__all__ = ["ImpactReport", "affected_demand_keys", "analyze_impact"]

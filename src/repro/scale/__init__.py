@@ -47,6 +47,7 @@ from repro.scale.stitch import (
     StitchReport,
     merge_shard_solutions,
     rebalance_fanout,
+    stitch_assignments,
     stitch_solutions,
 )
 
@@ -69,5 +70,6 @@ __all__ = [
     "resolve_partitioner",
     "resolve_shard_count",
     "shard_seed",
+    "stitch_assignments",
     "stitch_solutions",
 ]

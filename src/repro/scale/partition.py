@@ -179,14 +179,47 @@ def resolve_shard_count(shards: int | str | None, problem: OverlayDesignProblem)
     return min(shards, problem.num_sinks)
 
 
-@dataclass
 class Shard:
-    """One shard: its sinks, its slice of the demands, and its subproblem."""
+    """One shard: its sinks, its slice of the demands, and its subproblem.
 
-    shard_id: str
-    sinks: list[str]
-    demand_keys: list[tuple[str, str]]
-    problem: OverlayDesignProblem
+    ``problem`` may be materialized lazily (``build_partition(...,
+    materialize=False)``): extraction is a pure function of the full problem,
+    so *when* it runs does not affect determinism.  The incremental engine
+    relies on this -- it touches only the dirty shards' subproblems, so a
+    lazy plan costs membership bookkeeping instead of a full extraction per
+    shard.  Lazily-built shards hold a closure and are not picklable until
+    ``problem`` has been accessed.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        sinks: list[str],
+        demand_keys: list[tuple[str, str]],
+        problem: OverlayDesignProblem | None = None,
+        problem_factory: Callable[[], OverlayDesignProblem] | None = None,
+    ) -> None:
+        if problem is None and problem_factory is None:
+            raise ValueError("Shard needs a problem or a problem_factory")
+        self.shard_id = shard_id
+        self.sinks = sinks
+        self.demand_keys = demand_keys
+        self._problem = problem
+        self._problem_factory = problem_factory
+
+    @property
+    def problem(self) -> OverlayDesignProblem:
+        if self._problem is None:
+            assert self._problem_factory is not None
+            self._problem = self._problem_factory()
+            self._problem_factory = None
+        return self._problem
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Shard({self.shard_id!r}, sinks={len(self.sinks)}, "
+            f"demands={len(self.demand_keys)})"
+        )
 
 
 @dataclass
@@ -231,6 +264,10 @@ def extract_shard_problem(
     sinks: list[str],
     name: str,
     delivery_by_sink: Mapping[str, list[tuple[str, float, float]]] | None = None,
+    demand_keys: set[tuple[str, str]] | None = None,
+    fanout_overrides: Mapping[str, int] | None = None,
+    reflector_cost_overrides: Mapping[str, float] | None = None,
+    stream_edge_cost_overrides: Mapping[tuple[str, str], float] | None = None,
 ) -> OverlayDesignProblem:
     """Build the self-contained subproblem for one shard.
 
@@ -239,9 +276,20 @@ def extract_shard_problem(
     and exactly the edges connecting them; weights, costs and thresholds are
     copied verbatim, so a demand's feasible weight in the shard equals its
     feasible weight in the full problem.
+
+    The override knobs serve the incremental engine's *residual* subproblems
+    (:mod:`repro.incremental`): ``demand_keys`` restricts the subproblem to
+    the churn-affected subset of the shard's demands, ``fanout_overrides``
+    substitutes the fanout budget left over by the assignments the engine
+    keeps, and ``reflector_cost_overrides`` / ``stream_edge_cost_overrides``
+    (keyed ``(stream, reflector)``) discount builds and stream deliveries
+    the kept assignments already pay for -- sunk costs the warm-started
+    re-solve should treat as free.
     """
     sink_set = set(sinks)
     demands = [d for d in problem.demands if d.sink in sink_set]
+    if demand_keys is not None:
+        demands = [d for d in demands if d.key in demand_keys]
     if delivery_by_sink is None:
         delivery_by_sink = _delivery_index(problem)
 
@@ -266,10 +314,16 @@ def extract_shard_problem(
         if reflector not in seen_reflectors:
             continue
         info = problem.reflector_info(reflector)
+        fanout = info.fanout
+        if fanout_overrides is not None:
+            fanout = fanout_overrides.get(reflector, fanout)
+        cost = info.cost
+        if reflector_cost_overrides is not None:
+            cost = reflector_cost_overrides.get(reflector, cost)
         shard.add_reflector(
             reflector,
-            cost=info.cost,
-            fanout=info.fanout,
+            cost=cost,
+            fanout=fanout,
             color=info.color,
             capacity=info.capacity,
         )
@@ -278,8 +332,13 @@ def extract_shard_problem(
             shard.add_sink(sink)
     for edge in problem.stream_edges():
         if edge.stream in seen_streams and edge.reflector in seen_reflectors:
+            edge_cost = edge.cost
+            if stream_edge_cost_overrides is not None:
+                edge_cost = stream_edge_cost_overrides.get(
+                    (edge.stream, edge.reflector), edge_cost
+                )
             shard.add_stream_edge(
-                edge.stream, edge.reflector, edge.loss_probability, edge.cost
+                edge.stream, edge.reflector, edge.loss_probability, edge_cost
             )
     overrides = problem.delivery_stream_cost_overrides()
     for sink in sinks:
@@ -320,6 +379,7 @@ def build_partition(
     problem: OverlayDesignProblem,
     partitioner: str | Partitioner = "auto",
     shards: int | str | None = "auto",
+    materialize: bool = True,
 ) -> PartitionPlan:
     """Partition ``problem`` into balanced, self-contained shards.
 
@@ -327,6 +387,13 @@ def build_partition(
     randomness, no environment dependence -- which is what makes the sharded
     pipeline deterministic regardless of ``--jobs``.  Raises ``ValueError``
     if the partitioner fails to cover every sink exactly once.
+
+    With ``materialize=False`` the shard subproblems are extracted on first
+    access instead of eagerly; the plan (shard ids, sink membership, demand
+    keys) is identical either way.  Callers that only touch a few shards --
+    the incremental engine re-solving dirty shards -- skip the extraction
+    cost of the others entirely.  Lazy shards hold closures, so pass
+    ``materialize=True`` (the default) when shards cross process boundaries.
     """
     chosen, raw_groups = _resolve_with_groups(problem, partitioner)
     target = resolve_shard_count(shards, problem)
@@ -339,24 +406,35 @@ def build_partition(
         )
     bins = _coalesce_groups(groups, target)
     delivery_by_sink = _delivery_index(problem)
+    # Per-shard demand keys in problem.demands order, built in one pass.
+    bin_of_sink = {sink: i for i, sinks in enumerate(bins) for sink in sinks}
+    demand_keys_by_bin: list[list[tuple[str, str]]] = [[] for _ in bins]
+    for demand in problem.demands:
+        demand_keys_by_bin[bin_of_sink[demand.sink]].append(demand.key)
     width = len(str(max(len(bins) - 1, 1)))
     plan = PartitionPlan(partitioner=chosen.name, requested_shards=target)
     for index, sinks in enumerate(bins):
         shard_id = f"shard{index:0{width}d}"
-        sink_set = set(sinks)
-        plan.shards.append(
-            Shard(
-                shard_id=shard_id,
-                sinks=sinks,
-                demand_keys=[d.key for d in problem.demands if d.sink in sink_set],
-                problem=extract_shard_problem(
-                    problem,
-                    sinks,
-                    name=f"{problem.name}/{shard_id}",
-                    delivery_by_sink=delivery_by_sink,
-                ),
+
+        def factory(
+            sinks: list[str] = sinks, shard_id: str = shard_id
+        ) -> OverlayDesignProblem:
+            return extract_shard_problem(
+                problem,
+                sinks,
+                name=f"{problem.name}/{shard_id}",
+                delivery_by_sink=delivery_by_sink,
             )
+
+        shard = Shard(
+            shard_id=shard_id,
+            sinks=sinks,
+            demand_keys=demand_keys_by_bin[index],
+            problem_factory=factory,
         )
+        if materialize:
+            shard.problem  # noqa: B018 - resolve the factory eagerly
+        plan.shards.append(shard)
     return plan
 
 

@@ -268,9 +268,94 @@ def stitch_solutions(
     return merged, report
 
 
+def stitch_assignments(
+    problem: OverlayDesignProblem,
+    plan: PartitionPlan,
+    shard_assignments: Sequence[dict[tuple[str, str], list[str]]],
+    repair: bool = True,
+    fanout_slack: float = 4.0,
+) -> tuple[OverlaySolution, StitchReport]:
+    """:func:`stitch_solutions` for plain per-shard assignment maps.
+
+    Produces a bit-identical merged solution and report without requiring the
+    caller to wrap each shard's assignments in an :class:`OverlaySolution`
+    over a materialized shard subproblem -- the incremental engine uses this
+    to splice carried and re-solved shards together on a *lazy* partition
+    plan, where clean shards never pay for subproblem extraction.  Per-shard
+    weight fractions are computed from the full problem's edge weights, which
+    the extraction copies verbatim, so the statistics match the solution
+    path.  ``report.per_shard_cost`` (diagnostics only, not part of
+    ``as_metadata``) is left empty.
+    """
+    if len(shard_assignments) != plan.num_shards:
+        raise ValueError(
+            f"got {len(shard_assignments)} shard assignment maps "
+            f"for {plan.num_shards} shards"
+        )
+    demands_by_key = {demand.key: demand for demand in problem.demands}
+    report = StitchReport(num_shards=plan.num_shards)
+    for shard, assignments in zip(plan.shards, shard_assignments):
+        for reflector, used in _load_counts(assignments).items():
+            report.shard_max_fanout_factor = max(
+                report.shard_max_fanout_factor, used / problem.fanout(reflector)
+            )
+        for key in shard.demand_keys:
+            demand = demands_by_key[key]
+            required = problem.demand_weight(demand)
+            if required <= 0:
+                fraction = 1.0
+            else:
+                delivered = sum(
+                    problem.edge_weight(demand, reflector)
+                    for reflector in assignments.get(key, [])
+                )
+                fraction = delivered / required
+            report.shard_min_weight_fraction = min(
+                report.shard_min_weight_fraction, fraction
+            )
+
+    merged_assignments: dict[tuple[str, str], list[str]] = {}
+    for assignments in shard_assignments:
+        for key, reflectors in assignments.items():
+            if key in merged_assignments:
+                raise ValueError(
+                    f"demand {key} appears in more than one shard solution"
+                )
+            merged_assignments[key] = sorted(reflectors)
+    merged = OverlaySolution.from_assignments(
+        problem, merged_assignments, metadata={"algorithm": "sharded-merge"}
+    )
+
+    max_shard_load: dict[str, int] = {}
+    for assignments in shard_assignments:
+        for reflector, value in _load_counts(assignments).items():
+            max_shard_load[reflector] = max(
+                max_shard_load.get(reflector, 0), value
+            )
+
+    merged = rebalance_fanout(problem, merged, max_shard_load, report)
+    if repair:
+        before = {
+            demand.key
+            for demand in problem.demands
+            if merged.weight_satisfaction(demand) < 1.0 - 1e-12
+        }
+        if before:
+            merged = repair_weight_shortfalls(problem, merged, fanout_slack)
+            report.demands_repaired = sum(
+                1
+                for demand in problem.demands
+                if demand.key in before
+                and merged.weight_satisfaction(demand) >= 1.0 - 1e-12
+            )
+    merged.metadata["algorithm"] = "sharded-stitch"
+    return merged, report
+
+
 __all__ = [
     "StitchReport",
     "merge_shard_solutions",
     "rebalance_fanout",
+    "stitch_assignments",
     "stitch_solutions",
 ]

@@ -444,17 +444,22 @@ def test_api_surface_snapshot():
             "MonteCarloConfig",
             "OverlayDesignProblem",
             "OverlaySolution",
+            "ProblemDelta",
             "RoundingParameters",
             "StreamEdge",
+            "apply_delta",
             "build_formulation",
             "build_sparse_formulation",
             "design_batch",
+            "design_incremental",
             "design_overlay",
             "design_overlay_extended",
             "designer_names",
+            "diff_problems",
             "evaluate_design",
             "fractional_lower_bound",
             "get_designer",
+            "invert_delta",
             "register_designer",
             "repair_weight_shortfalls",
             "run_monte_carlo",

@@ -570,10 +570,10 @@ class TestBenchSuites:
         for tag in ("paper", "comparison", "figures", "reliability", "scale", "perf"):
             assert tag in output
 
-    def test_scale_suite_expands_to_t8(self):
+    def test_scale_suite_expands_to_i1_and_t8(self):
         from repro.analysis.runner import expand_scenario_ids
 
-        assert expand_scenario_ids(["scale"]) == ["t8"]
+        assert expand_scenario_ids(["scale"]) == ["i1", "t8"]
 
     def test_reliability_suite_smoke(self, tmp_path, capsys):
         code = main(

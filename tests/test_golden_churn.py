@@ -1,0 +1,127 @@
+"""Golden regression corpus for the incremental engine under sink churn.
+
+Two seed-pinned churn scripts -- 5% sink churn on the ``random-mid`` and
+``akamai-small`` reference workloads -- run through
+:func:`repro.design_incremental` step by step, snapshotting each post-update
+design (cost, fanout, audit digest, delta summary and the impact metadata)
+against committed fixtures under ``tests/goldens/churn-<workload>.json``.
+
+A drift here means the delta model, the impact analysis or the incremental
+engine changed behaviour.  If intentional, regenerate and commit::
+
+    python -m pytest tests/test_golden_churn.py --regen-goldens
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro import DesignParameters, design_incremental
+from repro.api import DesignRequest, get_designer
+from repro.api.types import audit_to_dict
+from repro.incremental import SinkChurnConfig, churn_stream
+from test_golden_designs import GOLDEN_SEED, WORKLOADS, _digest, _round
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The two churned workloads (stable names = fixture file stems).
+CHURN_WORKLOADS = ["random-mid", "akamai-small"]
+
+#: Two steps of 5% sink churn (joins and leaves), the scripted scenario.
+CHURN_SCRIPT = ["sink-churn", "sink-churn"]
+
+CHURN_CONFIG = SinkChurnConfig(fraction=0.05)
+
+
+def churn_golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"churn-{workload}.json"
+
+
+def run_churn_script(workload: str) -> list[dict]:
+    problem = WORKLOADS[workload]()
+    parameters = DesignParameters(seed=GOLDEN_SEED)
+    designer = get_designer("sharded:greedy")
+    current = designer.design(
+        DesignRequest(
+            problem=problem,
+            parameters=parameters,
+            strategy=designer.name,
+            options={"shards": 3, "jobs": 1},
+        )
+    )
+    current_problem = problem
+    steps: list[dict] = []
+    for event, delta, new_problem in churn_stream(
+        problem, CHURN_SCRIPT, seed=GOLDEN_SEED, churn_config=CHURN_CONFIG
+    ):
+        result = design_incremental(
+            current,
+            new_problem,
+            parameters=parameters,
+            options={"shards": 3, "jobs": 1},
+            previous_problem=current_problem,
+            delta=delta,
+        )
+        solution = result.solution
+        steps.append(
+            {
+                "event": event,
+                "delta": delta.summary(),
+                "total_cost": _round(solution.total_cost()),
+                "reflectors_built": len(solution.built_reflectors),
+                "assignments": sum(len(v) for v in solution.assignments.values()),
+                "unserved_demands": len(solution.unserved_demands()),
+                "max_fanout_factor": _round(solution.max_fanout_factor()),
+                "audit_digest": _digest(audit_to_dict(result.audit)),
+                "dirty_shards": result.metadata.get("incremental_dirty_shards"),
+                "fallback": result.metadata.get("incremental_fallback"),
+            }
+        )
+        current, current_problem = result, new_problem
+    return steps
+
+
+@pytest.mark.parametrize("workload", CHURN_WORKLOADS)
+def test_golden_churn_scripts(workload, regen_goldens):
+    observed = {
+        "workload": workload,
+        "seed": GOLDEN_SEED,
+        "script": CHURN_SCRIPT,
+        "churn_fraction": CHURN_CONFIG.fraction,
+        "steps": run_churn_script(workload),
+    }
+    path = churn_golden_path(workload)
+    if regen_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(observed, indent=2, sort_keys=True) + "\n")
+        return
+
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with "
+            "`python -m pytest tests/test_golden_churn.py --regen-goldens`"
+        )
+    golden = json.loads(path.read_text())
+    assert golden.get("seed") == GOLDEN_SEED, "seed pin changed; regenerate goldens"
+    assert golden.get("script") == CHURN_SCRIPT, "script changed; regenerate goldens"
+    assert len(golden["steps"]) == len(observed["steps"])
+    for index, (expected, actual) in enumerate(
+        zip(golden["steps"], observed["steps"])
+    ):
+        assert sorted(actual) == sorted(expected), (
+            f"{workload} step {index}: snapshot fields changed"
+        )
+        for field, want in expected.items():
+            got = actual[field]
+            if isinstance(want, float):
+                assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{workload} step {index}/{field}: {got!r} != {want!r}"
+                )
+            else:
+                assert got == want, (
+                    f"{workload} step {index}/{field}: {got!r} != {want!r}"
+                )

@@ -1,0 +1,185 @@
+"""Hypothesis property tests for the incremental engine's invariants.
+
+The contracts under test (see ``docs/incremental.md``):
+
+* deltas are invertible: applying a delta then its inverse restores a
+  problem with the same content digest, the engine recognises the round
+  trip as identity churn, and the standing design re-binds with an equal
+  cost digest;
+* dirty-shard detection is monotone: a superset delta never marks fewer
+  shards dirty than any of its sub-deltas;
+* the incremental update is a pure function of (standing design, delta,
+  seed): ``jobs=1`` and ``jobs=N`` produce bit-identical designs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DesignParameters, design_incremental
+from repro.api import DesignRequest, get_designer
+from repro.core.serialization import canonical_digest, problem_digest
+from repro.incremental import (
+    ProblemDelta,
+    analyze_impact,
+    apply_delta,
+    churn_stream,
+    diff_problems,
+    invert_delta,
+)
+from repro.scale import build_partition
+from repro.workloads import (
+    InternetScaleConfig,
+    RandomInstanceConfig,
+    generate_internet_scale_problem,
+    random_problem,
+)
+
+EVENTS = ["sink-churn", "flash-crowd", "regional-outage", "isp-outage"]
+
+
+@st.composite
+def problems(draw):
+    seed = draw(st.integers(0, 1_000))
+    if draw(st.booleans()):
+        problem, _registry = generate_internet_scale_problem(
+            InternetScaleConfig(num_sinks=draw(st.integers(20, 60)), sinks_per_metro=10),
+            rng=seed,
+        )
+        return problem
+    return random_problem(
+        RandomInstanceConfig(
+            num_streams=2,
+            num_reflectors=draw(st.integers(5, 10)),
+            num_sinks=draw(st.integers(8, 24)),
+            fanout_range=(6, 14),
+        ),
+        rng=seed,
+    )
+
+
+@st.composite
+def churned_problems(draw):
+    """A problem plus one sampled churn (event, delta, new_problem)."""
+    problem = draw(problems())
+    event = draw(st.sampled_from(EVENTS))
+    churn_seed = draw(st.integers(0, 100))
+    ((_event, delta, new_problem),) = list(
+        churn_stream(problem, [event], seed=churn_seed)
+    )
+    return problem, delta, new_problem
+
+
+def _standing(problem, seed=7):
+    return get_designer("sharded:greedy").design(
+        DesignRequest(
+            problem=problem,
+            strategy="sharded:greedy",
+            parameters=DesignParameters(seed=seed),
+            options={"shards": 3},
+        )
+    )
+
+
+def _cost_digest(solution) -> str:
+    return canonical_digest({"total_cost": solution.total_cost()})
+
+
+class TestDeltaInversion:
+    @settings(max_examples=15, deadline=None)
+    @given(churned_problems())
+    def test_delta_then_inverse_restores_problem_and_design(self, case):
+        problem, delta, new_problem = case
+        restored = apply_delta(new_problem, invert_delta(delta))
+        assert problem_digest(restored) == problem_digest(problem)
+        assert diff_problems(problem, restored).is_empty
+
+        # The engine sees the round trip as identity churn and re-binds the
+        # standing design bit-identically -- equal cost digest included.
+        standing = _standing(problem)
+        result = design_incremental(
+            standing,
+            restored,
+            parameters=DesignParameters(seed=7),
+            options={"shards": 3},
+            previous_problem=problem,
+        )
+        assert result.metadata.get("incremental_identity") is True
+        assert result.solution.assignments == standing.solution.assignments
+        assert _cost_digest(result.solution) == _cost_digest(standing.solution)
+
+
+class TestDirtyShardMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(churned_problems(), st.randoms(use_true_random=False))
+    def test_superset_delta_never_marks_fewer_shards(self, case, rng):
+        problem, delta, new_problem = case
+        if delta.sinks_added or delta.sinks_removed:
+            # Restrict to content deltas: sub-sampling adds/removes changes
+            # the sink set, and with it the partition the shards live on.
+            delta = ProblemDelta(
+                delivery_changed=dict(delta.delivery_changed),
+                stream_edges_changed=dict(delta.stream_edges_changed),
+                demands_changed={
+                    key: change
+                    for key, change in delta.demands_changed.items()
+                    if key[0] not in delta.sinks_added
+                    and key[0] not in delta.sinks_removed
+                },
+            )
+            delta = ProblemDelta(
+                delivery_changed={
+                    link: change
+                    for link, change in delta.delivery_changed.items()
+                    if link[1] in set(problem.sinks)
+                },
+                stream_edges_changed=dict(delta.stream_edges_changed),
+                demands_changed=dict(delta.demands_changed),
+            )
+            new_problem = apply_delta(problem, delta)
+        sub = ProblemDelta(
+            delivery_changed={
+                link: change
+                for link, change in delta.delivery_changed.items()
+                if rng.random() < 0.5
+            },
+            stream_edges_changed={
+                link: change
+                for link, change in delta.stream_edges_changed.items()
+                if rng.random() < 0.5
+            },
+            demands_changed={
+                key: change
+                for key, change in delta.demands_changed.items()
+                if rng.random() < 0.5
+            },
+        )
+        plan = build_partition(new_problem, shards=3)
+        full = analyze_impact(delta, new_problem, plan)
+        partial = analyze_impact(sub, apply_delta(problem, sub), plan)
+        assert set(partial.dirty_shards) <= set(full.dirty_shards)
+        assert partial.affected_demands <= full.affected_demands
+
+
+class TestJobsDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(churned_problems(), st.integers(0, 10_000), st.sampled_from([2, 3]))
+    def test_jobs_are_invisible_in_the_incremental_design(self, case, seed, jobs):
+        problem, delta, new_problem = case
+        standing = _standing(problem, seed=seed)
+
+        def run(n):
+            return design_incremental(
+                standing,
+                new_problem,
+                parameters=DesignParameters(seed=seed),
+                options={"shards": 3, "jobs": n},
+                previous_problem=problem,
+                delta=delta,
+            ).solution
+
+        serial, parallel = run(1), run(jobs)
+        assert serial.assignments == parallel.assignments
+        assert serial.built_reflectors == parallel.built_reflectors
+        assert serial.stream_deliveries == parallel.stream_deliveries

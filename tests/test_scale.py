@@ -244,6 +244,54 @@ class TestStitch:
         with pytest.raises(ValueError, match="shard solutions"):
             stitch_solutions(scale_problem, plan, [])
 
+    def test_stitch_counts_unresolved_overloads(self):
+        # Two shards each pin their only demand on the same fanout-1
+        # reflector; neither copy is droppable (the demand would go
+        # unserved) and there is no alternative candidate, so the merged
+        # load of 2 cannot be shed.  Weight wins over fanout: the overload
+        # stays in place and is counted, bounded by the merged load.
+        from repro.core.problem import OverlayDesignProblem
+        from repro.scale.partition import PartitionPlan, Shard, extract_shard_problem
+
+        problem = OverlayDesignProblem(name="pinned-overload")
+        problem.add_stream("s")
+        problem.add_reflector("r", cost=10.0, fanout=1)
+        problem.add_stream_edge("s", "r", loss_probability=0.01, cost=1.0)
+        for sink in ("a", "b"):
+            problem.add_sink(sink)
+            problem.add_delivery_edge("r", sink, loss_probability=0.05, cost=0.5)
+            problem.add_demand(sink, "s", success_threshold=0.9)
+
+        plan = PartitionPlan(partitioner="hash", requested_shards=2)
+        for index, sink in enumerate(("a", "b")):
+            plan.shards.append(
+                Shard(
+                    shard_id=f"shard{index}",
+                    sinks=[sink],
+                    demand_keys=[(sink, "s")],
+                    problem=extract_shard_problem(
+                        problem, [sink], name=f"pinned/{sink}"
+                    ),
+                )
+            )
+        solutions = [
+            OverlaySolution.from_assignments(shard.problem, {(sink, "s"): ["r"]})
+            for shard, sink in zip(plan.shards, ("a", "b"))
+        ]
+
+        stitched, report = stitch_solutions(problem, plan, solutions, repair=False)
+        assert report.overloaded_reflectors == 1
+        assert report.unresolved_overloads == 1
+        assert report.assignments_dropped == 0
+        assert report.assignments_moved == 0
+        assert report.as_metadata()["stitch_unresolved_overloads"] == 1
+        # Both demands stay served; the fanout violation is exactly the
+        # merged load over the bound and never exceeds it.
+        assert stitched.fanout_used("r") == 2
+        assert stitched.max_fanout_factor() == pytest.approx(2.0)
+        for demand in problem.demands:
+            assert stitched.weight_satisfaction(demand) >= 1.0 - 1e-9
+
 
 # ---------------------------------------------------------------------------
 # The sharded designer
