@@ -1,0 +1,30 @@
+"""Experiment S1 -- design-service latency under a mixed serving workload.
+
+Scenario ``s1`` drives the async :class:`repro.serve.DesignService` through
+a mixed workload on internet-scale instances: three fresh-digest requests
+(each pays the full ``sharded:spaa03`` pipeline), three repeat rounds over
+the same digests (answered from the content-addressed result cache,
+bit-identical modulo timings/cache provenance), one in-flight dedup burst
+(two concurrent submissions of one digest collapse to one compute), and a
+5-event churn stream through a single long-lived
+:class:`repro.serve.DesignSession` raced against five independent
+``design_incremental`` calls that each pay the JSON round-trip, problem
+diff and fresh partition a standalone CLI invocation pays.  At full size
+(10k sinks) the wall-clock gates require repeat-digest requests >= 10x
+faster than fresh ones and the session to beat the independent chain.
+``REPRO_BENCH_SMOKE=1`` shrinks the instances to CI size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_s1_serving_latency_dedup_and_session_reuse():
+    record = run_and_record("s1")
+    for row in record.rows:
+        assert row["repeat_payload_identical"] == 1
+        assert row["session_matches_independent"] == 1
+        assert row["session_unserved"] == 0
+        assert row["deduplicated"] >= 1
+        assert row["plan_reuse_events"] >= 1

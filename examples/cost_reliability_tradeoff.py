@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DesignParameters, design_overlay
+from repro import DesignParameters, DesignRequest, run_request
 from repro.analysis import format_table
 from repro.core.rounding import RoundingParameters
 from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
@@ -35,15 +35,18 @@ def main() -> None:
     for c in (2.0, 4.0, 8.0, 16.0, 32.0, 64.0):
         costs, met_fractions, fanouts = [], [], []
         for seed in range(3):
-            report = design_overlay(
-                problem,
-                DesignParameters(
-                    rounding=RoundingParameters(c=c, seed=seed),
-                    repair_shortfall=False,
-                    retry_rounding=False,
-                ),
+            result = run_request(
+                DesignRequest(
+                    problem,
+                    DesignParameters(
+                        rounding=RoundingParameters(c=c, seed=seed),
+                        repair_shortfall=False,
+                        retry_rounding=False,
+                    ),
+                )
             )
-            solution = report.solution
+            report = result.report
+            solution = result.solution
             costs.append(report.cost_ratio)
             met = np.mean(
                 [solution.weight_satisfaction(d) >= 1.0 - 1e-9 for d in problem.demands]
@@ -102,13 +105,14 @@ def main() -> None:
                 }
             )
             continue
-        report = design_overlay(
-            rebuilt,
-            DesignParameters(
-                seed=0, repair_shortfall=True, rounding=RoundingParameters(c=16.0)
-            ),
-        )
-        solution = report.solution
+        solution = run_request(
+            DesignRequest(
+                rebuilt,
+                DesignParameters(
+                    seed=0, repair_shortfall=True, rounding=RoundingParameters(c=16.0)
+                ),
+            )
+        ).solution
         rows.append(
             {
                 "threshold": threshold,

@@ -18,9 +18,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignParameters, design_overlay
+from repro import DesignParameters, DesignRequest, run_request
 from repro.analysis import compare_designs, format_table
-from repro.baselines import greedy_design, naive_quality_first_design, single_tree_design
 from repro.core.rounding import RoundingParameters
 from repro.simulation import SimulationConfig, simulate_solution
 from repro.workloads import AkamaiLikeConfig, FlashCrowdConfig, generate_flash_crowd_scenario
@@ -41,18 +40,24 @@ def main() -> None:
     print(f"Design instance: {problem}")
 
     # --- Design with the paper's algorithm (plus practical repair) -----------
-    report = design_overlay(
-        problem,
-        DesignParameters(
-            seed=7, repair_shortfall=True, rounding=RoundingParameters(c=16.0)
-        ),
+    result = run_request(
+        DesignRequest(
+            problem,
+            DesignParameters(
+                seed=7, repair_shortfall=True, rounding=RoundingParameters(c=16.0)
+            ),
+        )
     )
-    designs = {
-        "spaa03 (+repair)": report.solution,
-        "greedy": greedy_design(problem),
-        "naive quality-first": naive_quality_first_design(problem),
-        "single tree": single_tree_design(problem),
-    }
+    report = result.report
+    designs = {"spaa03 (+repair)": result.solution}
+    for label, strategy in (
+        ("greedy", "greedy"),
+        ("naive quality-first", "naive-quality-first"),
+        ("single tree", "single-tree"),
+    ):
+        designs[label] = run_request(
+            DesignRequest(problem, strategy=strategy)
+        ).solution
 
     print("\n=== Cost vs reliability across designs ===")
     rows = compare_designs(problem, designs, lower_bound=report.lp_lower_bound)

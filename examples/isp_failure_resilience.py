@@ -17,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignParameters, design_overlay, design_overlay_extended
+from repro import DesignParameters, DesignRequest, run_request
 from repro.analysis import format_table
 from repro.core.extensions import color_constrained_parameters
 from repro.network.reliability import demand_success_probability
@@ -49,9 +49,13 @@ def main() -> None:
     print(f"Deployment: {topology.size_summary()}; ISPs: {registry.names()}")
 
     base_params = DesignParameters(seed=3, repair_shortfall=True)
-    plain = design_overlay(problem, base_params).solution
-    diverse = design_overlay_extended(
-        problem, color_constrained_parameters(base_params)
+    plain = run_request(DesignRequest(problem, base_params)).solution
+    diverse = run_request(
+        DesignRequest(
+            problem,
+            color_constrained_parameters(base_params),
+            strategy="spaa03-extended",
+        )
     ).solution
 
     print("\n=== Analytic survivors per single-ISP outage ===")

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignParameters, OverlayDesignProblem, design_overlay
+from repro import DesignParameters, DesignRequest, OverlayDesignProblem, run_request
 from repro.analysis import check_paper_guarantees, format_table
 
 
@@ -54,10 +54,11 @@ def main() -> None:
     problem = build_problem()
     print(f"Instance: {problem}")
 
-    report = design_overlay(
-        problem, DesignParameters(seed=7, repair_shortfall=True)
+    result = run_request(
+        DesignRequest(problem, DesignParameters(seed=7, repair_shortfall=True))
     )
-    solution = report.solution
+    report = result.report
+    solution = result.solution
 
     print("\n=== Design ===")
     print(f"Reflectors built: {sorted(solution.built_reflectors)}")

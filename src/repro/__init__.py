@@ -8,7 +8,7 @@ near-minimum cost.
 
 Quick start
 -----------
->>> from repro import OverlayDesignProblem, DesignParameters, design_overlay
+>>> from repro import OverlayDesignProblem, DesignParameters, DesignRequest, run_request
 >>> problem = OverlayDesignProblem()
 >>> problem.add_stream("concert")
 >>> for r in ("r1", "r2"):
@@ -18,10 +18,11 @@ Quick start
 >>> problem.add_delivery_edge("r1", "boston", loss_probability=0.05, cost=0.5)
 >>> problem.add_delivery_edge("r2", "boston", loss_probability=0.10, cost=0.25)
 >>> problem.add_demand("boston", "concert", success_threshold=0.99)
->>> report = design_overlay(problem, DesignParameters(seed=7, repair_shortfall=True))
->>> report.solution.success_probability(problem.demands[0]) >= 0.99
+>>> result = run_request(
+...     DesignRequest(problem, DesignParameters(seed=7, repair_shortfall=True)))
+>>> result.solution.success_probability(problem.demands[0]) >= 0.99
 True
->>> report.solution.total_cost() >= report.lp_lower_bound
+>>> result.solution.total_cost() >= result.report.lp_lower_bound
 True
 
 (``repair_shortfall`` enables the Section-7-style greedy repair pass; the
@@ -29,27 +30,31 @@ bare approximation algorithm only meets the threshold *with high
 probability*, which on a two-reflector toy instance is not a certainty.)
 
 Every design strategy -- the paper's algorithm, its Section-6 extension and
-all six baselines -- is also reachable through the unified strategy API
-(:mod:`repro.api`): a registry of named designers behind one typed
-request/response boundary.  ``design_overlay`` and the baseline functions are
-thin wrappers over it, so results are identical seed-for-seed:
+all six baselines -- lives in the strategy registry (:mod:`repro.api`)
+behind one typed request/response boundary.  The historical free functions
+(``design_overlay`` and friends) are deprecated wrappers over it, so results
+are identical seed-for-seed:
 
->>> from repro import DesignRequest, get_designer
->>> result = get_designer("spaa03").design(
+>>> from repro import get_designer
+>>> direct = get_designer("spaa03").design(
 ...     DesignRequest(problem, DesignParameters(seed=7, repair_shortfall=True)))
->>> result.solution.assignments == report.solution.assignments
+>>> direct.solution.assignments == result.solution.assignments
 True
 >>> sorted(designer_names())[:3]
 ['exact', 'greedy', 'lp-bound']
 
 Many requests fan out over worker processes deterministically via
-``design_batch(requests, jobs=...)``; see ``docs/api.md`` for the registry,
-the pipeline stages and the migration guide.
+``design_batch(requests, jobs=...)``; :mod:`repro.serve` layers a
+content-addressed artifact cache, a long-lived :class:`~repro.serve.DesignSession`
+and an async :class:`~repro.serve.DesignService` front on top.  See
+``docs/api.md`` for the registry and the migration guide, and
+``docs/serving.md`` for the service layer.
 
 Package layout
 --------------
 ``repro.core``        the paper's algorithm (LP, rounding, GAP, extensions)
 ``repro.api``         unified strategy API: registry, staged pipeline, batch
+``repro.serve``       design service: artifact cache, sessions, async front
 ``repro.lp``          LP modeling/solving substrate
 ``repro.flow``        max-flow / min-cost-flow substrate
 ``repro.network``     overlay topology, loss models, exact reliability
@@ -70,6 +75,7 @@ from repro.api import (
     designer_names,
     get_designer,
     register_designer,
+    run_request,
 )
 from repro.core.algorithm import (
     DesignParameters,
@@ -88,6 +94,7 @@ from repro.core.problem import Demand, DeliveryEdge, OverlayDesignProblem, Strea
 from repro.core.rounding import RoundingParameters
 from repro.core.solution import OverlaySolution
 from repro.incremental import ProblemDelta, apply_delta, diff_problems, invert_delta
+from repro.serve import ArtifactCache, DesignService, DesignSession
 from repro.simulation import (
     MonteCarloConfig,
     evaluate_design,
@@ -98,6 +105,7 @@ from repro.simulation import (
 __version__ = "1.2.0"
 
 __all__ = [
+    "ArtifactCache",
     "Demand",
     "DeliveryEdge",
     "Designer",
@@ -106,6 +114,8 @@ __all__ = [
     "DesignReport",
     "DesignRequest",
     "DesignResult",
+    "DesignService",
+    "DesignSession",
     "EvaluationSpec",
     "ExtensionOptions",
     "MonteCarloConfig",
@@ -130,6 +140,7 @@ __all__ = [
     "register_designer",
     "repair_weight_shortfalls",
     "run_monte_carlo",
+    "run_request",
     "simulate_solution",
     "__version__",
 ]

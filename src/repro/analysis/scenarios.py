@@ -35,15 +35,18 @@ from repro.analysis.runner import (
     ScenarioSpec,
     register_scenario,
 )
-from repro.api import DesignRequest, comparison_designers, get_designer
-from repro.core.algorithm import DesignParameters, design_overlay
+from repro.api import DesignPipeline, DesignRequest, comparison_designers, get_designer
+from repro.core.algorithm import DesignParameters
 from repro.core.concentration import (
     chernoff_lower_tail,
     chernoff_upper_tail,
     empirical_tail_frequency,
     weight_violation_probability,
 )
-from repro.core.extensions import color_constrained_parameters, design_overlay_extended
+from repro.core.extensions import (
+    color_constrained_parameters,
+    extended_report_from_context,
+)
 from repro.core.formulation import (
     ExtensionOptions,
     build_formulation,
@@ -57,7 +60,6 @@ from repro.core.rounding import (
 )
 from repro.flow import assert_feasible_flow
 from repro.lp import LinearExpr, LinearProgram, Objective, solve_lp
-from repro.baselines import greedy_design
 from repro.network.reliability import demand_success_probability
 from repro.network.topology import NodeRole
 from repro.simulation import (
@@ -380,7 +382,7 @@ def t4_task(task: dict) -> dict:
         seed=task["seed"],
         repair_shortfall=False,
     )
-    report = design_overlay(problem, params)
+    report = DesignPipeline.standard().run(problem, params).report()
     solution = report.solution
     weight_fractions = [solution.weight_satisfaction(d) for d in problem.demands]
     fourth_root_ok = []
@@ -701,8 +703,10 @@ def t6_task(task: dict) -> dict:
     )
     problem = topology.to_problem()
     base = DesignParameters(seed=seed, repair_shortfall=True)
-    plain_report = design_overlay(problem, base)
-    colored_report = design_overlay_extended(problem, color_constrained_parameters(base))
+    plain_report = DesignPipeline.standard().run(problem, base).report()
+    colored_report = extended_report_from_context(
+        DesignPipeline.extended().run(problem, color_constrained_parameters(base))
+    )
 
     plain = plain_report.solution
     colored = colored_report.solution
@@ -1101,7 +1105,7 @@ def r1_task(task: dict) -> dict:
     config = AkamaiLikeConfig(**R1_CONFIGS[task["instance"]])
     topology, _registry = generate_akamai_like_topology(config, rng=task["rng"])
     problem = topology.to_problem()
-    solution = greedy_design(problem)
+    solution = get_designer("greedy").design(DesignRequest(problem=problem)).solution
     packets, window = task["packets"], task["window"]
 
     # Both engines are timed as `timing_reps` interleaved (legacy block,
@@ -2052,5 +2056,317 @@ register_scenario(
         description="Cost parity (<= 1.05x) and wall-clock speedup (>= 10x full "
         "size) of the incremental engine against a from-scratch sharded run "
         "after 5% sink churn.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S1 -- design-service latency: fresh vs repeat digests, session vs updates
+# ---------------------------------------------------------------------------
+
+
+def _s1_percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (matches the service's /stats convention)."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _s1_comparable(document: dict) -> dict:
+    """A result document minus per-request provenance (timings, cache, id)."""
+    stripped = dict(document)
+    for key in ("stage_seconds", "cache", "request_id"):
+        stripped.pop(key, None)
+    return stripped
+
+
+def s1_task(task: dict) -> dict:
+    import json
+
+    from repro.api import design_incremental, result_to_dict
+    from repro.core.serialization import (
+        problem_from_dict,
+        problem_to_dict,
+        solution_digest,
+        solution_from_dict,
+        solution_to_dict,
+    )
+    from repro.incremental import diff_problems
+    from repro.incremental.churn import (
+        SinkChurnConfig,
+        flash_crowd_delta,
+        sample_sink_churn,
+    )
+    from repro.incremental.delta import apply_delta
+    from repro.serve import ArtifactCache, DesignService, DesignSession
+    from repro.workloads.internet_scale import (
+        InternetScaleConfig,
+        generate_internet_scale_problem,
+    )
+
+    parameters = DesignParameters(seed=task["seed"])
+    sharded_options = {"shards": "auto", "jobs": 1}
+
+    problems = []
+    for index in range(task["fresh"]):
+        problem, _registry = generate_internet_scale_problem(
+            InternetScaleConfig(num_sinks=task["sinks"]), rng=task["rng"] + index
+        )
+        problems.append(problem)
+
+    def make_request(problem):
+        return DesignRequest(
+            problem=problem,
+            parameters=parameters,
+            strategy="sharded:spaa03",
+            options=dict(sharded_options),
+        )
+
+    cache = ArtifactCache()
+    fresh_latencies: list[float] = []
+    repeat_latencies: list[float] = []
+    payload_mismatches = 0
+    baselines: list[dict] = []
+
+    with DesignService(cache=cache, workers=task["workers"]) as service:
+        # Fresh leg: every problem is a new digest, so each request pays the
+        # full pipeline.
+        for problem in problems:
+            start = time.perf_counter()
+            result = service.run(make_request(problem))
+            fresh_latencies.append(time.perf_counter() - start)
+            baselines.append(_s1_comparable(result_to_dict(result)))
+
+        # Repeat leg: the same digests again, served from the result cache.
+        # Payloads must be bit-identical modulo per-request provenance.
+        for _round in range(task["repeats"]):
+            for index, problem in enumerate(problems):
+                start = time.perf_counter()
+                result = service.run(make_request(problem))
+                repeat_latencies.append(time.perf_counter() - start)
+                if _s1_comparable(result_to_dict(result)) != baselines[index]:
+                    payload_mismatches += 1
+
+        # Dedup burst: two in-flight submissions of one digest.  Clearing the
+        # cache first makes the first submission recompute, so the second
+        # really joins an in-flight future instead of hitting the result
+        # cache.
+        cache.clear()
+        tickets = [service.submit(make_request(problems[0])) for _ in range(2)]
+        for ticket in tickets:
+            ticket.result()
+        stats = service.stats()
+
+    # Churn leg: a 5-event stream through one DesignSession (standing plan +
+    # stage cache reuse, all in memory) against five independent
+    # ``repro update``-equivalent calls, each paying the JSON round-trip,
+    # problem diff and fresh partition a standalone CLI invocation pays.
+    # Events are deliberately *small* relative to the instance (a few
+    # congested metros, 1% sink churn) -- the live-churn regime the session
+    # exists for, where the per-call serving overhead is what differs: the
+    # re-design work itself is bit-identical on both sides by construction.
+    base_problem = problems[0]
+    stream = []
+    current_state = base_problem
+    for index, event in enumerate(task["events"]):
+        rng = np.random.default_rng([task["churn_seed"], index])
+        if event == "flash-crowd":
+            delta = flash_crowd_delta(
+                current_state, rng, hot_fraction=task["hot_fraction"]
+            )
+        elif event == "sink-churn":
+            delta = sample_sink_churn(
+                current_state, SinkChurnConfig(fraction=task["churn_fraction"]), rng
+            )
+        else:  # pragma: no cover - guarded by s1_tasks
+            raise ValueError(f"unknown s1 churn event {event!r}")
+        current_state = apply_delta(current_state, delta)
+        stream.append((event, delta, current_state))
+
+    session = DesignSession(
+        base_problem,
+        strategy="sharded:spaa03",
+        parameters=parameters,
+        options=dict(sharded_options),
+        cache=cache,
+        session_id="s1",
+    )
+    initial = session.ensure_design()
+
+    session_start = time.perf_counter()
+    for _event, delta, _new_problem in stream:
+        session_result = session.apply_delta(delta)
+    session_seconds = time.perf_counter() - session_start
+
+    problem_doc = json.dumps(problem_to_dict(base_problem), sort_keys=True)
+    solution_doc = json.dumps(solution_to_dict(initial.solution), sort_keys=True)
+    independent_start = time.perf_counter()
+    for _event, _delta, new_problem in stream:
+        previous_problem = problem_from_dict(json.loads(problem_doc))
+        previous_solution = solution_from_dict(
+            json.loads(solution_doc), previous_problem
+        )
+        fresh_problem = problem_from_dict(json.loads(json.dumps(problem_to_dict(new_problem), sort_keys=True)))
+        delta = diff_problems(previous_problem, fresh_problem)
+        independent_result = design_incremental(
+            previous_solution,
+            fresh_problem,
+            parameters=parameters,
+            options=dict(sharded_options),
+            previous_problem=previous_problem,
+            delta=delta,
+        )
+        problem_doc = json.dumps(problem_to_dict(fresh_problem), sort_keys=True)
+        solution_doc = json.dumps(
+            solution_to_dict(independent_result.solution), sort_keys=True
+        )
+    independent_seconds = time.perf_counter() - independent_start
+
+    session_summary = session.summary()
+    return {
+        "sinks": base_problem.num_sinks,
+        "demands": base_problem.num_demands,
+        "fresh_requests": len(fresh_latencies),
+        "repeat_requests": len(repeat_latencies),
+        "repeat_payload_identical": int(payload_mismatches == 0),
+        "deduplicated": stats["deduplicated"],
+        "cache_hits": stats["cache"]["hits"],
+        "fresh_p50_seconds": _s1_percentile(fresh_latencies, 0.50),
+        "fresh_p99_seconds": _s1_percentile(fresh_latencies, 0.99),
+        "repeat_p50_seconds": _s1_percentile(repeat_latencies, 0.50),
+        "repeat_p99_seconds": _s1_percentile(repeat_latencies, 0.99),
+        "service_p50_seconds": stats["latency_p50_seconds"],
+        "service_p99_seconds": stats["latency_p99_seconds"],
+        # Wall-clock-derived; like the I1/T8 speedups these are gated by
+        # validate (full size only), never compared against a baseline.
+        "repeat_speedup": (
+            _s1_percentile(fresh_latencies, 0.50)
+            / max(_s1_percentile(repeat_latencies, 0.50), 1e-9)
+        ),
+        "churn_events": len(stream),
+        "plan_reuse_events": session_summary["plan_reuses"],
+        "session_seconds": session_seconds,
+        "independent_seconds": independent_seconds,
+        "session_speedup": independent_seconds / max(session_seconds, 1e-9),
+        "session_matches_independent": int(
+            solution_digest(session_result.solution)
+            == solution_digest(independent_result.solution)
+        ),
+        "session_final_cost": session_result.total_cost,
+        "session_unserved": (
+            session_result.audit.unserved_demands
+            if session_result.audit is not None
+            else 0
+        ),
+    }
+
+
+def s1_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    # One task: a mixed serving workload (3 fresh digests, each repeated 3x,
+    # one dedup burst) plus a 5-event churn stream.  Internet-scale instances
+    # (like I1) so the full-size wall-clock gates measure design work against
+    # the O(n) canonicalization a cache hit still pays.  Churn events stay
+    # small (3% hot sinks, 1% churn) -- flash crowds keep the sink set
+    # stable and exercise the session's plan rebind; sink churn forces a
+    # rebuild.
+    return [
+        {
+            "sinks": 400 if smoke else 10_000,
+            "rng": 100,
+            "seed": master_seed,
+            "fresh": 3,
+            "repeats": 3,
+            "workers": 2,
+            "churn_seed": master_seed + 1,
+            "hot_fraction": 0.03,
+            "churn_fraction": 0.01,
+            "events": (
+                "flash-crowd",
+                "sink-churn",
+                "flash-crowd",
+                "sink-churn",
+                "flash-crowd",
+            ),
+        }
+    ]
+
+
+def s1_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        if not row["repeat_payload_identical"]:
+            failures.append(
+                "repeat-digest responses diverge from the fresh payload "
+                "(must be bit-identical modulo timings/cache/request_id)"
+            )
+        if not row["session_matches_independent"]:
+            failures.append(
+                "session churn stream diverges from independent "
+                "design_incremental calls (must be bit-identical)"
+            )
+        if row["session_unserved"] != 0:
+            failures.append(
+                f"{row['session_unserved']} demands unserved after the "
+                "session churn stream"
+            )
+        if row["deduplicated"] < 1:
+            failures.append(
+                "in-flight dedup burst was not deduplicated "
+                f"(deduplicated={row['deduplicated']})"
+            )
+        # Wall-clock gates only apply at full size: at smoke sizes fixed
+        # overhead (serialization, audit) dominates both sides.
+        if not record.smoke and row["repeat_speedup"] < 10.0:
+            failures.append(
+                f"repeat-digest requests only {row['repeat_speedup']:.1f}x "
+                "faster than fresh ones (>= 10x required at full size)"
+            )
+        if not record.smoke and row["session_speedup"] <= 1.0:
+            failures.append(
+                f"session churn stream {row['session_speedup']:.2f}x vs "
+                "independent updates (must beat 1.0x at full size)"
+            )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="s1",
+        suites=("serve", "perf"),
+        title="S1: design-service latency under a mixed fresh/repeat/churn "
+        "workload",
+        task_fn=s1_task,
+        make_tasks=s1_tasks,
+        policies={
+            "sinks": MetricPolicy("equal", rel_tol=0.0),
+            "demands": MetricPolicy("equal", rel_tol=0.0),
+            "repeat_payload_identical": MetricPolicy("equal", rel_tol=0.0),
+            "session_matches_independent": MetricPolicy("equal", rel_tol=0.0),
+            "session_unserved": MetricPolicy("equal", rel_tol=0.0),
+            "plan_reuse_events": MetricPolicy("higher", abs_tol=0.0),
+            "session_final_cost": MetricPolicy("lower", rel_tol=0.05),
+        },
+        validate=s1_validate,
+        artifact="S1_serving",
+        columns=[
+            "sinks",
+            "demands",
+            "fresh_requests",
+            "repeat_requests",
+            "fresh_p50_seconds",
+            "repeat_p50_seconds",
+            "repeat_speedup",
+            "repeat_payload_identical",
+            "deduplicated",
+            "plan_reuse_events",
+            "session_seconds",
+            "independent_seconds",
+            "session_speedup",
+            "session_matches_independent",
+        ],
+        description="Serving-front latency percentiles for fresh vs "
+        "repeat-digest requests (bit-identical payloads, >= 10x faster at "
+        "full size), in-flight dedup, and a 5-event churn stream through one "
+        "DesignSession against five independent update calls.",
     )
 )

@@ -37,7 +37,12 @@ from repro.core.serialization import (
 from repro.core.solution import OverlaySolution
 
 #: Version written into every request/result document; bump on breaking changes.
-SCHEMA_VERSION = 1
+#: Version 2 added the ``cache`` provenance block to result documents (digest,
+#: per-stage hit/miss, session id); version-1 documents still load.
+SCHEMA_VERSION = 2
+
+#: Every document version this build can read (newest last).
+SCHEMA_VERSIONS_READ = (1, 2)
 
 REQUEST_KIND = "design-request"
 RESULT_KIND = "design-result"
@@ -172,6 +177,14 @@ class DesignResult:
     evaluation:
         Per-scenario reliability metrics (``{scenario: {metric: value}}``)
         when the request carried an :class:`EvaluationSpec`, else ``None``.
+    cache:
+        Cache provenance stamped by the serving layer (:mod:`repro.serve`):
+        ``request_digest``/``problem_digest`` (the content-addressed keys),
+        ``stages`` (per-stage ``"hit"``/``"miss"``), ``session_id`` when the
+        result came out of a :class:`~repro.serve.DesignSession`, and
+        ``served_from_cache`` for whole-result hits.  ``None`` for results
+        produced outside the serving layer (schema version 2; see
+        ``docs/serving.md``).
     request_id:
         Echo of the request's correlation id.
     report:
@@ -186,6 +199,7 @@ class DesignResult:
     audit: SolutionAudit | None = None
     metadata: dict = field(default_factory=dict)
     evaluation: dict[str, dict[str, float]] | None = None
+    cache: dict | None = None
     request_id: str | None = None
     report: DesignReport | None = None
     schema_version: int = SCHEMA_VERSION
@@ -326,9 +340,17 @@ def request_to_dict(request: DesignRequest) -> dict[str, Any]:
 
 
 def request_from_dict(data: dict[str, Any]) -> DesignRequest:
-    """Decode a request document produced by :func:`request_to_dict`."""
+    """Decode a request document produced by :func:`request_to_dict`.
+
+    Reads every version in :data:`SCHEMA_VERSIONS_READ`, so documents written
+    by older builds keep loading after a schema bump.
+    """
     check_document(
-        data, REQUEST_KIND, version=SCHEMA_VERSION, version_key="schema_version"
+        data,
+        REQUEST_KIND,
+        version=SCHEMA_VERSION,
+        version_key="schema_version",
+        accept_versions=SCHEMA_VERSIONS_READ,
     )
     evaluation_data = data.get("evaluation")
     return DesignRequest(
@@ -366,6 +388,7 @@ def result_to_dict(result: DesignResult) -> dict[str, Any]:
             if isinstance(value, (str, int, float, bool, type(None)))
         },
         "evaluation": result.evaluation,
+        "cache": dict(result.cache) if result.cache is not None else None,
         "solution": solution_to_dict(result.solution),
     }
 
@@ -373,11 +396,20 @@ def result_to_dict(result: DesignResult) -> dict[str, Any]:
 def result_from_dict(
     data: dict[str, Any], problem: OverlayDesignProblem
 ) -> DesignResult:
-    """Decode a result document against its problem instance."""
+    """Decode a result document against its problem instance.
+
+    Reads every version in :data:`SCHEMA_VERSIONS_READ`: version-1 documents
+    (no ``cache`` block) load with ``cache=None``.
+    """
     check_document(
-        data, RESULT_KIND, version=SCHEMA_VERSION, version_key="schema_version"
+        data,
+        RESULT_KIND,
+        version=SCHEMA_VERSION,
+        version_key="schema_version",
+        accept_versions=SCHEMA_VERSIONS_READ,
     )
     audit_data = data.get("audit")
+    cache_data = data.get("cache")
     return DesignResult(
         strategy=data.get("strategy", "unknown"),
         solution=solution_from_dict(data["solution"], problem),
@@ -386,12 +418,14 @@ def result_from_dict(
         audit=audit_from_dict(audit_data) if audit_data is not None else None,
         metadata=dict(data.get("metadata", {})),
         evaluation=data.get("evaluation"),
+        cache=dict(cache_data) if cache_data is not None else None,
         request_id=data.get("request_id"),
     )
 
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SCHEMA_VERSIONS_READ",
     "DesignRequest",
     "DesignResult",
     "EvaluationSpec",

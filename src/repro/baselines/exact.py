@@ -76,8 +76,17 @@ def exact_design(
     registered ``"exact"`` designer and rebuilds the :class:`ExactResult`
     from its result -- outputs are identical, see ``docs/api.md``.
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
 
+    warnings.warn(
+        "exact_design is deprecated; submit a DesignRequest(strategy='exact') "
+        "through repro.api.run_request instead (see the migration table in "
+        "docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     request = DesignRequest(
         problem=problem,
         options={

@@ -52,8 +52,17 @@ def greedy_design(
         fanout budget permits; remaining shortfalls are left (and reported by
         the solution audit), exactly as they would be for any other design.
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
 
+    warnings.warn(
+        "greedy_design is deprecated; submit a DesignRequest(strategy='greedy') "
+        "through repro.api.run_request instead (see the migration table in "
+        "docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     request = DesignRequest(problem=problem, options={"fanout_slack": fanout_slack})
     return get_designer("greedy").design(request).solution
 

@@ -22,9 +22,18 @@ def lp_lower_bound(
     registered ``"lp-bound"`` designer and returns its ``lower_bound`` --
     results are identical, see ``docs/api.md``.
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
     from repro.core.algorithm import DesignParameters
 
+    warnings.warn(
+        "lp_lower_bound is deprecated; submit a DesignRequest("
+        "strategy='lp-bound') through repro.api.run_request instead (see the "
+        "migration table in docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parameters = (
         DesignParameters(extensions=extensions)
         if extensions is not None

@@ -27,8 +27,17 @@ def naive_quality_first_design(
     registered ``"naive-quality-first"`` designer and returns its solution --
     results are identical, see ``docs/api.md``.
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
 
+    warnings.warn(
+        "naive_quality_first_design is deprecated; submit a "
+        "DesignRequest(strategy='naive-quality-first') through "
+        "repro.api.run_request instead (see the migration table in docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     request = DesignRequest(problem=problem, options={"fanout_slack": fanout_slack})
     return get_designer("naive-quality-first").design(request).solution
 

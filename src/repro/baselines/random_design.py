@@ -30,8 +30,17 @@ def random_design(
     identical seed-for-seed, see ``docs/api.md``.  (A generator passed as
     ``rng`` is forwarded in-memory; such a request is not JSON-serializable.)
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
 
+    warnings.warn(
+        "random_design is deprecated; submit a DesignRequest(strategy='random') "
+        "through repro.api.run_request instead (see the migration table in "
+        "docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     request = DesignRequest(
         problem=problem, options={"rng": rng, "fanout_slack": fanout_slack}
     )

@@ -33,8 +33,17 @@ def single_tree_design(
     registered ``"single-tree"`` designer and returns its solution -- results
     are identical, see ``docs/api.md``.
     """
+    import warnings
+
     from repro.api import DesignRequest, get_designer
 
+    warnings.warn(
+        "single_tree_design is deprecated; submit a "
+        "DesignRequest(strategy='single-tree') through repro.api.run_request "
+        "instead (see the migration table in docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     request = DesignRequest(
         problem=problem,
         options={"fanout_slack": fanout_slack, "prefer_cheap": prefer_cheap},

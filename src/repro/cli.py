@@ -27,6 +27,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench    --suite reliability --jobs auto
     python -m repro.cli bench    --smoke --jobs auto \
                                  --compare-to benchmarks/results/baseline.json
+    python -m repro.cli serve    --port 8080 --workers 4
+    python -m repro.cli serve    --self-test
+    python -m repro.cli submit   --url http://127.0.0.1:8080 \
+                                 --problem instance.json --seed 7 --out result.json
 
 ``design``/``compare`` resolve strategies through the :mod:`repro.api`
 registry (``--strategy``), ``compare`` iterates every registered comparison
@@ -35,6 +39,11 @@ out over worker processes (:func:`repro.api.design_batch`), and ``update``
 re-designs a standing solution incrementally after churn
 (:func:`repro.api.design_incremental`) -- the change arrives as a new
 problem JSON, a serialized delta document, or a sampled churn event.
+``serve`` runs the :mod:`repro.serve` design service (content-addressed
+artifact cache + async worker pool) behind a small HTTP front, and
+``submit`` is its client.  The shared flags -- ``--seed``, ``--jobs``,
+``--strategy``, ``--out`` -- come from common parent parsers, so they spell
+and behave identically on every subcommand that accepts them.
 
 Every subcommand prints a human-readable table; files are the JSON documents
 defined in :mod:`repro.core.serialization` (problems/solutions),
@@ -724,6 +733,142 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import DesignServer, DesignService, run_self_test
+    from repro.serve.cache import DEFAULT_MAX_BYTES, ArtifactCache
+
+    if args.self_test:
+        try:
+            run_self_test()
+        except AssertionError as error:
+            print(f"self-test FAILED: {error}", file=sys.stderr)
+            return 1
+        return 0
+
+    cache = ArtifactCache(
+        max_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_MAX_BYTES,
+        spill_dir=args.spill_dir,
+    )
+    service = DesignService(cache=cache, workers=args.workers)
+    server = DesignServer(service, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"serving on {server.url} (workers={args.workers}, "
+        f"cache budget {cache.stats().max_bytes} bytes)"
+    )
+    print("POST /design with a design-request document; GET /stats; GET /healthz")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import urllib.request
+
+    from repro.api import request_to_dict, result_from_dict
+
+    base = args.url.rstrip("/")
+    if args.stats:
+        try:
+            with urllib.request.urlopen(base + "/stats", timeout=args.timeout) as response:
+                payload = json.load(response)
+        except OSError as error:
+            print(f"error: cannot reach {base}: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not args.problem:
+        print("error: --problem is required (unless --stats)", file=sys.stderr)
+        return 2
+
+    problem = load_problem(args.problem)
+    request = DesignRequest(
+        problem=problem,
+        parameters=DesignParameters(seed=args.seed),
+        strategy=args.strategy,
+    )
+    body = json.dumps(request_to_dict(request)).encode("utf-8")
+    http_request = urllib.request.Request(
+        base + "/design", data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=args.timeout) as response:
+            document = json.load(response)
+    except OSError as error:
+        print(f"error: cannot reach {base}: {error}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    result = result_from_dict(document, problem)
+    rows = [
+        {"metric": key, "value": value}
+        for key, value in result.summary().items()
+        if key != "stage_seconds"
+    ]
+    provenance = document.get("cache") or {}
+    for key in ("served_from_cache", "deduplicated", "request_digest"):
+        if key in provenance:
+            rows.append({"metric": f"cache.{key}", "value": provenance[key]})
+    for stage, state in (provenance.get("stages") or {}).items():
+        rows.append({"metric": f"cache.stage.{stage}", "value": state})
+    print(format_table(rows, title=f"design of {problem.name} via {base}"))
+    if args.out:
+        print(f"\nwrote result document to {args.out}")
+    return 0
+
+
+def _seed_parent(
+    help: str = "seed for the run (default: 0)",
+) -> argparse.ArgumentParser:
+    """Shared ``--seed`` flag: every subcommand spells and types it the same."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help=help)
+    return parent
+
+
+def _jobs_parent(
+    default: str | None = "1",
+    help: str = "worker processes: a number or 'auto' (default: 1)",
+) -> argparse.ArgumentParser:
+    """Shared ``--jobs`` flag (a number or ``'auto'``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", default=default, help=help)
+    return parent
+
+
+def _strategy_parent(
+    default: str | None = "spaa03",
+    help: str = "registered design strategy (default: spaa03)",
+) -> argparse.ArgumentParser:
+    """Shared ``--strategy`` flag resolved via the :mod:`repro.api` registry."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--strategy", default=default, help=help)
+    return parent
+
+
+def _out_parent(
+    help: str = "output path",
+    required: bool = False,
+    default: str | None = None,
+) -> argparse.ArgumentParser:
+    """Shared ``--out`` flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--out", required=required, default=default, help=help)
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -731,26 +876,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    generate = sub.add_parser("generate", help="generate a synthetic problem instance")
+    generate = sub.add_parser(
+        "generate",
+        help="generate a synthetic problem instance",
+        parents=[
+            _seed_parent("seed of the instance generator (default: 0)"),
+            _out_parent("output problem JSON path", required=True),
+        ],
+    )
     generate.add_argument(
         "--workload",
         choices=["akamai", "flash-crowd", "random", "internet-scale"],
         default="akamai",
     )
-    generate.add_argument("--seed", type=int, default=0)
     generate.add_argument(
         "--sinks",
         type=int,
         default=10_000,
         help="sink count for --workload internet-scale (default: 10000)",
     )
-    generate.add_argument("--out", required=True, help="output problem JSON path")
     generate.set_defaults(func=_cmd_generate)
 
-    design = sub.add_parser("design", help="design an overlay for a problem JSON")
+    design = sub.add_parser(
+        "design",
+        help="design an overlay for a problem JSON",
+        parents=[
+            _seed_parent(),
+            _strategy_parent(
+                help="registered design strategy (see --list-strategies; default: "
+                "spaa03; 'sharded:<strategy>' runs the hierarchical sharded pipeline)"
+            ),
+            _jobs_parent(
+                default=None,
+                help="worker processes for per-shard designs: a number or 'auto' "
+                "(sharded:<strategy> only; default: 1)",
+            ),
+            _out_parent("output solution JSON path"),
+        ],
+    )
     design.add_argument("--problem", help="problem JSON path (required unless --list-strategies)")
-    design.add_argument("--out", help="output solution JSON path")
-    design.add_argument("--seed", type=int, default=0)
     design.add_argument(
         "--multiplier",
         type=float,
@@ -762,21 +926,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--isp-diversity", action="store_true", help="enable the Section-6.4 color constraints"
     )
     design.add_argument(
-        "--strategy",
-        default="spaa03",
-        help="registered design strategy (see --list-strategies; default: spaa03; "
-        "'sharded:<strategy>' runs the hierarchical sharded pipeline)",
-    )
-    design.add_argument(
         "--shards",
         default=None,
         help="shard count or 'auto' (sharded:<strategy> only; default: auto)",
-    )
-    design.add_argument(
-        "--jobs",
-        default=None,
-        help="worker processes for per-shard designs: a number or 'auto' "
-        "(sharded:<strategy> only; default: 1)",
     )
     design.add_argument(
         "--partitioner",
@@ -803,6 +955,16 @@ def build_parser() -> argparse.ArgumentParser:
         "update",
         help="incrementally re-design a standing solution after churn "
         "(new problem JSON, delta document, or sampled churn event)",
+        parents=[
+            _seed_parent(),
+            _strategy_parent(
+                default=None,
+                help="inner per-shard strategy (default: derived from the "
+                "standing design, else spaa03)",
+            ),
+            _jobs_parent(),
+            _out_parent("output solution JSON path"),
+        ],
     )
     update.add_argument("--problem", required=True, help="pre-churn problem JSON path")
     update.add_argument(
@@ -818,17 +980,7 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--churn-seed", type=int, default=0, help="seed for --event sampling"
     )
-    update.add_argument("--seed", type=int, default=0)
-    update.add_argument(
-        "--strategy",
-        default=None,
-        help="inner per-shard strategy (default: derived from the standing "
-        "design, else spaa03)",
-    )
     update.add_argument("--shards", default="auto")
-    update.add_argument(
-        "--jobs", default="1", help="worker processes: a number or 'auto' (default: 1)"
-    )
     update.add_argument(
         "--partitioner", default="auto", choices=["auto", "metro", "isp", "hash"]
     )
@@ -844,46 +996,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.8,
         help="dirty-shard fraction above which a full redesign runs instead",
     )
-    update.add_argument("--out", help="output solution JSON path")
     update.add_argument(
         "--delta-out", help="also write the applied delta as a JSON document"
     )
     update.set_defaults(func=_cmd_update)
 
     compare = sub.add_parser(
-        "compare", help="compare a strategy against every registered comparison baseline"
+        "compare",
+        help="compare a strategy against every registered comparison baseline",
+        parents=[
+            _seed_parent(),
+            _strategy_parent(
+                help="reference strategy run with repair enabled (default: spaa03)"
+            ),
+        ],
     )
     compare.add_argument("--problem", required=True)
-    compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--multiplier", type=float, default=8.0)
-    compare.add_argument(
-        "--strategy",
-        default="spaa03",
-        help="reference strategy run with repair enabled (default: spaa03)",
-    )
     compare.set_defaults(func=_cmd_compare)
 
     batch = sub.add_parser(
         "batch",
         help="run a JSON-lines file of design requests through the parallel executor",
+        parents=[_jobs_parent(), _out_parent("output results JSONL path")],
     )
     batch.add_argument(
         "--requests", required=True, help="JSONL file, one design-request document per line"
     )
-    batch.add_argument(
-        "--jobs", default="1", help="worker processes: a number or 'auto' (default: 1)"
-    )
-    batch.add_argument("--out", help="output results JSONL path")
     batch.set_defaults(func=_cmd_batch)
 
     simulate = sub.add_parser(
         "simulate",
         help="packet-level replay of a solution (single session or Monte-Carlo sweep)",
+        parents=[
+            _seed_parent(),
+            _jobs_parent(
+                help="worker processes for scenario sweeps: a number or 'auto' "
+                "(default: 1)"
+            ),
+        ],
     )
     simulate.add_argument("--problem", help="problem JSON path")
     simulate.add_argument("--solution", help="solution JSON path")
     simulate.add_argument("--packets", type=int, default=10_000)
-    simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
         "--trials",
         type=int,
@@ -911,11 +1066,6 @@ def build_parser() -> argparse.ArgumentParser:
         "replays the legacy draw order bit-for-bit",
     )
     simulate.add_argument(
-        "--jobs",
-        default="1",
-        help="worker processes for scenario sweeps: a number or 'auto' (default: 1)",
-    )
-    simulate.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list the registered failure scenarios and exit",
@@ -925,21 +1075,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="run registered benchmark scenarios in parallel and emit BENCH_<ID>.json",
+        parents=[
+            _jobs_parent(
+                help="worker processes per scenario: a number or 'auto' (default: 1)"
+            ),
+            _out_parent(
+                "directory for BENCH_<ID>.json and table artifacts",
+                default="benchmarks/results",
+            ),
+        ],
     )
     bench.add_argument(
         "--suite",
         action="append",
         help="scenario id(s) to run (repeatable / comma-separated; default: all)",
-    )
-    bench.add_argument(
-        "--jobs",
-        default="1",
-        help="worker processes per scenario: a number or 'auto' (default: 1)",
-    )
-    bench.add_argument(
-        "--out",
-        default="benchmarks/results",
-        help="directory for BENCH_<ID>.json and table artifacts",
     )
     bench.add_argument("--master-seed", type=int, default=0)
     bench.add_argument(
@@ -962,6 +1111,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--list", action="store_true", help="list registered scenarios")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the design service (artifact cache + worker pool) over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="design worker threads (default: 2)"
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="artifact-cache byte budget (default: 256 MiB)",
+    )
+    serve.add_argument(
+        "--spill-dir", help="spill evicted artifacts to this directory (default: off)"
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run an in-process round-trip (submit, replay, churn a session) and exit",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a design request to a running `repro serve` instance",
+        parents=[
+            _seed_parent("request seed (default: 0; seeded requests are cacheable)"),
+            _strategy_parent(),
+            _out_parent("write the full result document JSON here"),
+        ],
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="server base URL"
+    )
+    submit.add_argument("--problem", help="problem JSON path (required unless --stats)")
+    submit.add_argument(
+        "--stats", action="store_true", help="print the server's /stats and exit"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="HTTP timeout in seconds"
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -203,8 +203,17 @@ def design_overlay(
        or :class:`repro.api.DesignPipeline` directly -- see ``docs/api.md``.
     """
     # Compatibility wrapper: the staged pipeline is the implementation now.
+    import warnings
+
     from repro.api.pipeline import DesignPipeline
 
+    warnings.warn(
+        "design_overlay is deprecated; submit a DesignRequest("
+        "strategy='spaa03') through repro.api.run_request instead (see the "
+        "migration table in docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return DesignPipeline.standard().run(problem, parameters, rng).report()
 
 

@@ -59,8 +59,17 @@ def design_overlay_extended(
        a fixed seed.  New code should prefer
        ``repro.api.get_designer("spaa03-extended")`` -- see ``docs/api.md``.
     """
+    import warnings
+
     from repro.api.pipeline import DesignPipeline
 
+    warnings.warn(
+        "design_overlay_extended is deprecated; submit a DesignRequest("
+        "strategy='spaa03-extended') through repro.api.run_request instead "
+        "(see the migration table in docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     context = DesignPipeline.extended().run(problem, parameters, rng)
     return extended_report_from_context(context)
 

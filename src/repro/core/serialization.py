@@ -247,22 +247,29 @@ def check_document(
     *,
     version: int = FORMAT_VERSION,
     version_key: str = "format_version",
-) -> None:
+    accept_versions: tuple[int, ...] | None = None,
+) -> int:
     """Validate a document's ``kind`` discriminator and version field.
 
     Shared by this module's problem/solution documents (``format_version``)
     and the :mod:`repro.api` request/result documents (``schema_version``).
+    ``accept_versions`` lists every readable version when a schema bump keeps
+    older documents loadable (defaults to just ``version``); the version
+    actually found is returned so decoders can branch on it.
     """
     if not isinstance(data, dict):
         raise ValueError("document must be a JSON object")
     kind = data.get("kind")
     if kind != expected_kind:
         raise ValueError(f"expected a {expected_kind!r} document, got {kind!r}")
+    accepted = accept_versions if accept_versions is not None else (version,)
     found = data.get(version_key)
-    if found != version:
+    if found not in accepted:
+        readable = "/".join(str(v) for v in accepted)
         raise ValueError(
-            f"unsupported {version_key} {found!r} (this build reads {version})"
+            f"unsupported {version_key} {found!r} (this build reads {readable})"
         )
+    return found
 
 
 def _check_document(data: dict[str, Any], expected_kind: str) -> None:

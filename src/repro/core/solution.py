@@ -91,17 +91,21 @@ class OverlaySolution:
 
     # ------------------------------------------------------------------- cost
     def reflector_cost(self) -> float:
-        return sum(self.problem.reflector_cost(r) for r in self.built_reflectors)
+        # All three cost sums iterate in sorted order so the totals are a pure
+        # function of the solution's *content*: a solution rehydrated from its
+        # JSON document reproduces the original floats bit-for-bit even though
+        # its containers were populated in a different order.
+        return sum(self.problem.reflector_cost(r) for r in sorted(self.built_reflectors))
 
     def stream_delivery_cost(self) -> float:
         return sum(
             self.problem.stream_edge(stream, reflector).cost
-            for stream, reflector in self.stream_deliveries
+            for stream, reflector in sorted(self.stream_deliveries)
         )
 
     def assignment_cost(self) -> float:
         total = 0.0
-        for (sink, stream), reflectors in self.assignments.items():
+        for (sink, stream), reflectors in sorted(self.assignments.items()):
             for reflector in reflectors:
                 total += self.problem.delivery_cost(reflector, sink, stream)
         return total

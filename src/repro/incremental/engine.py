@@ -45,7 +45,11 @@ from repro.core.problem import OverlayDesignProblem
 from repro.core.solution import OverlaySolution
 from repro.incremental.delta import ProblemDelta, diff_problems
 from repro.incremental.impact import analyze_impact
-from repro.scale.partition import build_partition, extract_shard_problem
+from repro.scale.partition import (
+    PartitionPlan,
+    build_partition,
+    extract_shard_problem,
+)
 from repro.scale.pipeline import SHARDED_PREFIX, shard_seed
 from repro.scale.stitch import stitch_assignments
 
@@ -172,6 +176,7 @@ def design_incremental(
     options: Mapping | None = None,
     previous_problem: OverlayDesignProblem | None = None,
     delta: ProblemDelta | None = None,
+    plan: PartitionPlan | None = None,
 ) -> DesignResult:
     """Update a standing design for a changed problem, re-solving only churn.
 
@@ -202,6 +207,13 @@ def design_incremental(
     delta:
         A precomputed :class:`ProblemDelta` (e.g. from a churn adapter);
         computed via :func:`diff_problems` when omitted.
+    plan:
+        A partition plan already bound to ``new_problem`` (e.g. the standing
+        plan of a :class:`repro.serve.DesignSession` rebound via
+        :func:`repro.scale.partition.rebind_partition`).  Skips the per-call
+        partition pass; must match the ``partitioner``/``shards`` options.
+        The partition is a pure function of those inputs, so a valid
+        supplied plan cannot change the design.
 
     An empty delta returns the standing design bit-identically (same
     assignments, rebound to ``new_problem``).  The result's metadata carries
@@ -267,12 +279,13 @@ def design_incremental(
     # own subproblem directly from ``new_problem``.  This keeps the update
     # cost proportional to the churn instead of the instance size.
     start = time.perf_counter()
-    plan = build_partition(
-        new_problem,
-        partitioner=opts["partitioner"],
-        shards=opts["shards"],
-        materialize=False,
-    )
+    if plan is None:
+        plan = build_partition(
+            new_problem,
+            partitioner=opts["partitioner"],
+            shards=opts["shards"],
+            materialize=False,
+        )
     partition_seconds = time.perf_counter() - start
 
     # Demands the standing design never served must be re-solved too: there

@@ -438,6 +438,70 @@ def build_partition(
     return plan
 
 
+def rebind_partition(
+    plan: PartitionPlan,
+    problem: OverlayDesignProblem,
+    materialize: bool = False,
+) -> PartitionPlan:
+    """Re-attach an existing plan's shard layout to a changed problem.
+
+    Sharding is a two-step process -- group sinks, then extract subproblems
+    -- and only the second step looks at demands, links, or costs.  When a
+    delta leaves the *sink set* unchanged, the layout (shard ids, sink
+    membership) stays valid, so a long-lived session can skip the grouping
+    pass and re-extract against the new problem: per-shard ``demand_keys``
+    are recomputed in ``problem.demands`` order and subproblem factories are
+    rebound, exactly as :func:`build_partition` would have produced for the
+    same layout.  Raises ``ValueError`` when the sink sets differ (callers
+    should rebuild from scratch instead).
+
+    The input plan is never mutated; lazy shards default (``materialize=
+    False``) because rebind callers -- the incremental engine -- touch only
+    dirty shards.
+    """
+    plan_sinks = sorted(sink for shard in plan.shards for sink in shard.sinks)
+    if plan_sinks != sorted(problem.sinks):
+        raise ValueError(
+            "partition plan does not cover the problem's sink set "
+            f"({len(plan_sinks)} plan sinks vs {problem.num_sinks} problem sinks); "
+            "rebuild the partition instead of rebinding"
+        )
+    delivery_by_sink = _delivery_index(problem)
+    bin_of_sink = {
+        sink: index for index, shard in enumerate(plan.shards) for sink in shard.sinks
+    }
+    demand_keys_by_bin: list[list[tuple[str, str]]] = [[] for _ in plan.shards]
+    for demand in problem.demands:
+        demand_keys_by_bin[bin_of_sink[demand.sink]].append(demand.key)
+    rebound = PartitionPlan(
+        partitioner=plan.partitioner, requested_shards=plan.requested_shards
+    )
+    for index, shard in enumerate(plan.shards):
+        sinks = list(shard.sinks)
+        shard_id = shard.shard_id
+
+        def factory(
+            sinks: list[str] = sinks, shard_id: str = shard_id
+        ) -> OverlayDesignProblem:
+            return extract_shard_problem(
+                problem,
+                sinks,
+                name=f"{problem.name}/{shard_id}",
+                delivery_by_sink=delivery_by_sink,
+            )
+
+        new_shard = Shard(
+            shard_id=shard_id,
+            sinks=sinks,
+            demand_keys=demand_keys_by_bin[index],
+            problem_factory=factory,
+        )
+        if materialize:
+            new_shard.problem  # noqa: B018 - resolve the factory eagerly
+        rebound.shards.append(new_shard)
+    return rebound
+
+
 __all__ = [
     "AUTO_SHARD_CAP",
     "PartitionPlan",
@@ -447,6 +511,7 @@ __all__ = [
     "extract_shard_problem",
     "get_partitioner",
     "partitioner_names",
+    "rebind_partition",
     "register_partitioner",
     "resolve_partitioner",
     "resolve_shard_count",

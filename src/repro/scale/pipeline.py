@@ -50,7 +50,7 @@ from repro.api.types import (
     parameters_from_dict,
     parameters_to_dict,
 )
-from repro.scale.partition import build_partition
+from repro.scale.partition import PartitionPlan, build_partition
 from repro.scale.stitch import stitch_solutions
 
 #: Prefix of dynamically materialised sharded strategies.
@@ -92,16 +92,28 @@ def _sharded_options(request: DesignRequest) -> dict:
 
 
 def design_sharded(
-    request: DesignRequest, inner: RegisteredDesigner
+    request: DesignRequest,
+    inner: RegisteredDesigner,
+    plan: PartitionPlan | None = None,
 ) -> DesignResult:
-    """Run the partition -> per-shard design -> stitch -> audit pipeline."""
+    """Run the partition -> per-shard design -> stitch -> audit pipeline.
+
+    ``plan`` lets a caller that already holds the partition -- the serving
+    cache or a long-lived :class:`repro.serve.DesignSession` -- skip the
+    grouping/extraction pass.  The plan must have been built (or rebound via
+    :func:`repro.scale.partition.rebind_partition`) against *this* request's
+    problem with the same partitioner/shards options; since the partition is
+    a pure function of those inputs, a supplied plan cannot change the
+    design, only the ``partition`` stage time.
+    """
     options = _sharded_options(request)
     problem = request.problem
 
     start = time.perf_counter()
-    plan = build_partition(
-        problem, partitioner=options["partitioner"], shards=options["shards"]
-    )
+    if plan is None:
+        plan = build_partition(
+            problem, partitioner=options["partitioner"], shards=options["shards"]
+        )
     partition_seconds = time.perf_counter() - start
 
     base_parameters = parameters_to_dict(request.parameters)

@@ -1,0 +1,477 @@
+"""The async serving front: queue + worker pool + in-flight deduplication.
+
+:class:`DesignService` is the process-local front the ``repro serve`` CLI
+exposes over HTTP: submissions enqueue versioned
+:class:`~repro.api.DesignRequest` documents, a pool of worker threads drains
+the queue through :func:`repro.serve.execute.run_request_cached` (sharing one
+:class:`~repro.serve.cache.ArtifactCache`), and callers hold a
+:class:`DesignTicket` -- a future that resolves to the
+:class:`~repro.api.DesignResult`.
+
+In-flight deduplication rides the same content digests as the cache: two
+submissions with equal :func:`~repro.serve.cache.request_digest` while the
+first is still queued or running share one computation; the second ticket
+resolves to the same payload re-stamped with its own ``request_id`` and a
+``deduplicated`` marker.  Combined with the whole-result cache this gives
+three cost tiers per digest: compute once, join in-flight, then serve from
+cache.
+
+Workers are *threads*, not processes: the LP solve and the Monte-Carlo sweep
+release the GIL inside scipy/numpy kernels, per-request fan-out still uses
+the deterministic process executor underneath (``options["jobs"]``), and
+threads are what lets one cache instance and one dedup map be shared without
+serialization.  Determinism per request is untouched -- each request's
+result depends only on its own content and seed, never on queue order.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.types import (
+    DesignRequest,
+    DesignResult,
+    request_from_dict,
+    result_to_dict,
+)
+from repro.serve.cache import ArtifactCache, request_digest
+from repro.serve.execute import run_request_cached
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class DesignTicket:
+    """A submitted request's handle: digest, dedup marker, and a future."""
+
+    request_id: str | None
+    digest: str | None
+    deduplicated: bool
+    future: Future
+
+    def result(self, timeout: float | None = None) -> DesignResult:
+        """Block for the design result (re-stamped for deduplicated tickets)."""
+        result = self.future.result(timeout=timeout)
+        if self.deduplicated:
+            cache_block = dict(result.cache or {})
+            cache_block["deduplicated"] = True
+            result = replace(result, cache=cache_block, request_id=self.request_id)
+        return result
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class DesignService:
+    """Queue + worker pool over :func:`run_request_cached`.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`).  One
+    service owns one :class:`ArtifactCache`; submit from any thread.
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        workers: int = 2,
+        bypass_cache: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.workers = workers
+        self.bypass_cache = bypass_cache
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._latencies: list[float] = []
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "deduplicated": 0,
+            "errors": 0,
+        }
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DesignService":
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-serve-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "DesignService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: DesignRequest | dict) -> DesignTicket:
+        """Enqueue a request (object or versioned JSON document).
+
+        Returns immediately; join the in-flight computation when an equal-
+        digest request is already queued or running.
+        """
+        if not self._started:
+            raise RuntimeError("DesignService is not started (use 'with service:')")
+        if isinstance(request, dict):
+            request = request_from_dict(request)
+        digest = request_digest(request) if not self.bypass_cache else None
+        with self._lock:
+            self._counters["submitted"] += 1
+            if digest is not None:
+                existing = self._inflight.get(digest)
+                if existing is not None:
+                    self._counters["deduplicated"] += 1
+                    return DesignTicket(
+                        request_id=request.request_id,
+                        digest=digest,
+                        deduplicated=True,
+                        future=existing,
+                    )
+            future: Future = Future()
+            if digest is not None:
+                self._inflight[digest] = future
+        self._queue.put((request, digest, future, time.perf_counter()))
+        return DesignTicket(
+            request_id=request.request_id,
+            digest=digest,
+            deduplicated=False,
+            future=future,
+        )
+
+    def run(self, request: DesignRequest | dict, timeout: float | None = None):
+        """Submit and block: the synchronous convenience wrapper."""
+        return self.submit(request).result(timeout=timeout)
+
+    # -- workers -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            request, digest, future, submitted = item
+            try:
+                result = run_request_cached(
+                    request, self.cache, bypass=self.bypass_cache, digest=digest
+                )
+            except BaseException as error:  # noqa: BLE001 - forwarded to caller
+                with self._lock:
+                    self._counters["errors"] += 1
+                    if digest is not None:
+                        self._inflight.pop(digest, None)
+                future.set_exception(error)
+                continue
+            latency = time.perf_counter() - submitted
+            with self._lock:
+                self._counters["completed"] += 1
+                self._latencies.append(latency)
+                if digest is not None:
+                    # Remove *before* resolving: late equal-digest submits
+                    # must go through the result cache (a fresh fast line)
+                    # rather than join a future that is about to be retired.
+                    self._inflight.pop(digest, None)
+            future.set_result(result)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            counters = dict(self._counters)
+            inflight = len(self._inflight)
+        snapshot = {
+            **counters,
+            "in_flight": inflight,
+            "queue_depth": self._queue.qsize(),
+            "workers": self.workers,
+            "latency_p50_seconds": _percentile(latencies, 50.0),
+            "latency_p99_seconds": _percentile(latencies, 99.0),
+            "cache": self.cache.stats().as_dict(),
+        }
+        return snapshot
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of an ascending list (``None`` when empty)."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1, round(q / 100.0 * len(sorted_values)) - 1))
+    return float(sorted_values[rank])
+
+
+# -- HTTP front ------------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Minimal JSON-over-HTTP front: POST /design, GET /stats, GET /healthz."""
+
+    service: DesignService  # injected by DesignServer
+
+    def log_message(self, *args: Any) -> None:  # pragma: no cover - silence
+        pass
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._respond(200, self.service.stats())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/design":
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            document = json.loads(self.rfile.read(length) or b"{}")
+            ticket = self.service.submit(document)
+            result = ticket.result()
+        except (ValueError, KeyError) as error:
+            self._respond(400, {"error": str(error)})
+            return
+        self._respond(200, result_to_dict(result))
+
+
+class DesignServer:
+    """The ``repro serve`` HTTP server wrapping a :class:`DesignService`.
+
+    Binds ``host:port`` (port 0 picks an ephemeral port, exposed as
+    ``server.port``) and serves requests on a background thread.  Use as a
+    context manager; stopping the server stops the service too.
+    """
+
+    def __init__(
+        self,
+        service: DesignService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service if service is not None else DesignService()
+        handler = type("_BoundHandler", (_ServiceHandler,), {"service": self.service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DesignServer":
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.stop()
+
+    def __enter__(self) -> "DesignServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+# -- self-test -------------------------------------------------------------
+
+
+def run_self_test(verbose: bool = True) -> dict:
+    """The ``repro serve --self-test`` round-trip (also a CI gate).
+
+    Submits three mixed requests through a live service -- fresh, repeat
+    digest, and a churn delta through a :class:`DesignSession` -- and checks
+    the serving determinism contract end to end:
+
+    * every served payload is bit-identical to a direct, cache-free
+      :func:`repro.api.run_request` run (modulo timings and the ``cache``
+      provenance block);
+    * the session event matches a standalone ``design_incremental`` call;
+    * the cache saw at least one hit.
+
+    Returns a JSON-friendly report; raises ``AssertionError`` on violation.
+    """
+    from repro.api.registry import run_request
+    from repro.core.algorithm import DesignParameters
+    from repro.core.serialization import solution_digest
+    from repro.incremental.churn import SinkChurnConfig, churn_stream
+    from repro.incremental.engine import design_incremental
+    from repro.serve.session import DesignSession
+    from repro.workloads.random_instances import RandomInstanceConfig, random_problem
+
+    problem = random_problem(
+        RandomInstanceConfig(num_reflectors=12, num_sinks=24, num_streams=2),
+        rng=1307,
+    )
+    parameters = DesignParameters(seed=17)
+
+    def payload(result: DesignResult) -> dict:
+        document = result_to_dict(result)
+        document.pop("stage_seconds", None)
+        document.pop("cache", None)
+        return document
+
+    checks: list[str] = []
+    with DesignServer() as server:
+        service = server.service
+        requests = [
+            DesignRequest(
+                problem=problem, parameters=parameters, strategy="spaa03",
+                request_id="fresh",
+            ),
+            DesignRequest(
+                problem=problem, parameters=parameters, strategy="spaa03",
+                request_id="repeat",
+            ),
+            DesignRequest(
+                problem=problem, parameters=parameters, strategy="greedy",
+                request_id="mixed",
+            ),
+        ]
+        tickets = [service.submit(request) for request in requests]
+        results = [ticket.result(timeout=120) for ticket in tickets]
+        # A fourth submit after the first completed: must be a whole-result
+        # cache hit (the in-flight line is retired, the cached line is not).
+        replay = service.run(
+            DesignRequest(
+                problem=problem, parameters=parameters, strategy="spaa03",
+                request_id="replay",
+            ),
+            timeout=120,
+        )
+        assert replay.cache is not None and replay.cache["served_from_cache"], (
+            "expected the replayed request to be served from the result cache"
+        )
+        requests.append(
+            DesignRequest(
+                problem=problem, parameters=parameters, strategy="spaa03",
+                request_id="replay",
+            )
+        )
+        results.append(replay)
+        for request, result in zip(requests, results):
+            direct = run_request(
+                DesignRequest(
+                    problem=problem,
+                    parameters=parameters,
+                    strategy=request.strategy,
+                    request_id=request.request_id,
+                )
+            )
+            assert payload(result) == payload(direct), (
+                f"served result for {request.request_id!r} diverges from "
+                "direct run_request"
+            )
+            checks.append(f"{request.request_id}: bit-identical to direct run")
+
+        # Churn leg: one session event vs a standalone incremental call.
+        session = DesignSession(
+            problem,
+            strategy="sharded:spaa03",
+            parameters=parameters,
+            cache=service.cache,
+            session_id="self-test",
+        )
+        standing = session.ensure_design()
+        event, delta, new_problem = next(
+            churn_stream(
+                problem,
+                ["sink-churn"],
+                seed=7,
+                churn_config=SinkChurnConfig(fraction=0.2),
+            )
+        )
+        served = session.apply_delta(delta)
+        direct = design_incremental(
+            standing, new_problem, session.parameters, strategy="spaa03",
+            previous_problem=problem, delta=delta,
+        )
+        assert solution_digest(served.solution) == solution_digest(
+            direct.solution
+        ), "session churn event diverges from standalone design_incremental"
+        checks.append(f"session {event} event: bit-identical to design_incremental")
+
+        stats = service.stats()
+        cache_stats = stats["cache"]
+        assert cache_stats["hits"] > 0 and cache_stats["hit_rate"] > 0, (
+            f"expected a positive cache hit rate (stats: {cache_stats})"
+        )
+        assert stats["deduplicated"] >= 1, (
+            "expected the repeat-digest request to join the in-flight line "
+            f"(stats: {stats})"
+        )
+        checks.append(
+            f"cache hits={cache_stats['hits']} dedup={stats['deduplicated']} "
+            f"hit_rate={cache_stats['hit_rate']:.2f}"
+        )
+
+    report = {
+        "ok": True,
+        "checks": checks,
+        "stats": {
+            key: value
+            for key, value in stats.items()
+            if key not in ("cache",)
+        },
+        "cache": cache_stats,
+    }
+    if verbose:
+        for line in checks:
+            print(f"self-test: {line}")
+        print("self-test: OK")
+    return report
+
+
+__all__ = [
+    "DesignServer",
+    "DesignService",
+    "DesignTicket",
+    "run_self_test",
+]

@@ -1,0 +1,275 @@
+"""Long-lived design sessions: a standing problem + design under churn.
+
+The paper frames overlay design as something an operator re-runs continuously
+("our algorithm is reasonably fast so it can be rerun as often as needed",
+Section 1.3).  PR 6's :func:`repro.api.design_incremental` made one churn
+event cheap; :class:`DesignSession` makes a *stream* of them cheap: it holds
+the standing problem, design, and partition plan across events, feeding each
+:class:`~repro.incremental.ProblemDelta` through the incremental engine with
+
+* the standing partition plan rebound to the post-churn problem
+  (:func:`repro.scale.partition.rebind_partition`) whenever the sink set is
+  unchanged -- skipping the per-event grouping pass entirely;
+* the session's :class:`~repro.serve.cache.ArtifactCache` installed as the
+  pipeline stage cache, so residual shard re-solves warm-start from cached
+  formulations/LP solutions when churn revisits content-identical
+  subproblems.
+
+Both reuses are pure-function shortcuts: a session event produces the same
+design, bit for bit, as a standalone ``design_incremental`` call over the
+same standing design and delta (the differential suite in
+``tests/test_serve.py`` pins this).  Only wall-clock changes -- which is the
+point: the s1 benchmark drives a 5-event churn stream through one session
+against five independent ``repro update``-equivalent calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.api.types import DesignRequest, DesignResult
+from repro.core.algorithm import DesignParameters
+from repro.core.problem import OverlayDesignProblem
+from repro.core.serialization import problem_digest
+from repro.incremental.delta import ProblemDelta, apply_delta, diff_problems
+from repro.incremental.engine import design_incremental
+from repro.scale.partition import build_partition, rebind_partition
+from repro.scale.pipeline import SHARDED_PREFIX
+from repro.serve.cache import ArtifactCache
+from repro.serve.execute import StageCacheAdapter, run_request_cached
+
+_SESSION_COUNTER = itertools.count(1)
+
+#: Options understood by the initial (sharded) design, a subset of the
+#: incremental engine's option surface.
+_SHARDED_OPTION_KEYS = ("shards", "jobs", "partitioner", "stitch_repair",
+                        "inner_options")
+
+
+@dataclass
+class SessionEvent:
+    """Provenance of one applied delta, kept in ``DesignSession.events``."""
+
+    index: int
+    delta_summary: dict
+    seconds: float
+    plan_reused: bool
+    problem_digest: str
+    strategy: str
+
+
+@dataclass
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class DesignSession:
+    """A standing problem + design streaming deltas through the incremental engine.
+
+    Parameters
+    ----------
+    problem:
+        The initial problem state.
+    strategy:
+        Strategy for the initial full design (default ``"sharded:spaa03"``);
+        its inner strategy (prefix stripped) seeds the per-shard re-solves.
+    parameters:
+        Design parameters shared by the initial design and every event.
+    options:
+        Incremental-engine options (``shards``/``jobs``/``partitioner``/
+        ``stitch_repair``/``inner_options``/``resolve``/
+        ``full_redesign_threshold``); the sharded subset also configures the
+        initial design.
+    cache:
+        The session's :class:`ArtifactCache` (a private default is created
+        when omitted; pass a service's cache to share lines across
+        sessions).  ``cache=False`` disables caching entirely.
+    session_id:
+        Stable identifier stamped into every result's ``cache`` provenance.
+    """
+
+    def __init__(
+        self,
+        problem: OverlayDesignProblem,
+        *,
+        strategy: str = "sharded:spaa03",
+        parameters: DesignParameters | None = None,
+        options: Mapping | None = None,
+        cache: ArtifactCache | None | bool = None,
+        session_id: str | None = None,
+    ) -> None:
+        self.problem = problem
+        self.strategy = strategy
+        self.parameters = parameters if parameters is not None else DesignParameters()
+        self.options = dict(options or {})
+        if cache is False:
+            self.cache: ArtifactCache | None = None
+        elif cache is None or cache is True:
+            self.cache = ArtifactCache()
+        else:
+            self.cache = cache
+        self.session_id = session_id or f"session-{next(_SESSION_COUNTER):04d}"
+        self.events: list[SessionEvent] = []
+        self._result: DesignResult | None = None
+        self._plan = None
+
+    # -- standing state ----------------------------------------------------
+
+    @property
+    def inner_strategy(self) -> str:
+        name = self.strategy
+        while name.startswith(SHARDED_PREFIX):
+            name = name[len(SHARDED_PREFIX):]
+        return name
+
+    @property
+    def result(self) -> DesignResult | None:
+        """The standing design result (``None`` before the initial design)."""
+        return self._result
+
+    def ensure_design(self) -> DesignResult:
+        """Design the standing problem if no design exists yet."""
+        if self._result is None:
+            request = DesignRequest(
+                problem=self.problem,
+                parameters=self.parameters,
+                strategy=self.strategy,
+                options={
+                    key: self.options[key]
+                    for key in _SHARDED_OPTION_KEYS
+                    if key in self.options
+                }
+                if self.strategy.startswith(SHARDED_PREFIX)
+                else {},
+                request_id=f"{self.session_id}-initial",
+            )
+            self._result = run_request_cached(
+                request, self.cache, session_id=self.session_id
+            )
+            if self.cache is not None and self.strategy.startswith(SHARDED_PREFIX):
+                # The initial sharded design just cached its partition plan;
+                # adopt it as the standing plan so the first demand-level
+                # churn event can rebind instead of regrouping.
+                from repro.serve.cache import plan_key
+
+                self._plan = self.cache.get(
+                    "plan",
+                    plan_key(
+                        problem_digest(self.problem),
+                        self.options.get("partitioner", "auto"),
+                        self.options.get("shards", "auto"),
+                    ),
+                )
+        return self._result
+
+    # -- event stream ------------------------------------------------------
+
+    def apply_delta(self, delta: ProblemDelta) -> DesignResult:
+        """Apply one delta against the standing problem and re-design."""
+        new_problem = (
+            self.problem if delta.is_empty else apply_delta(self.problem, delta)
+        )
+        return self._apply(delta, new_problem)
+
+    def apply_problem(self, new_problem: OverlayDesignProblem) -> DesignResult:
+        """Diff the standing problem against ``new_problem`` and re-design."""
+        delta = diff_problems(self.problem, new_problem)
+        return self._apply(delta, new_problem)
+
+    def stream(self, deltas: Iterable[ProblemDelta]) -> Iterator[DesignResult]:
+        """Apply a sequence of deltas, yielding the result after each."""
+        for delta in deltas:
+            yield self.apply_delta(delta)
+
+    def _apply(
+        self, delta: ProblemDelta, new_problem: OverlayDesignProblem
+    ) -> DesignResult:
+        standing = self.ensure_design()
+        start = time.perf_counter()
+        plan = None
+        plan_reused = False
+        sinks_changed = bool(delta.sinks_added) or bool(delta.sinks_removed)
+        if not delta.requires_full_redesign:
+            if self._plan is not None and not sinks_changed:
+                try:
+                    plan = rebind_partition(self._plan, new_problem)
+                    plan_reused = True
+                except ValueError:
+                    plan = None
+            if plan is None:
+                plan = build_partition(
+                    new_problem,
+                    partitioner=self.options.get("partitioner", "auto"),
+                    shards=self.options.get("shards", "auto"),
+                    materialize=False,
+                )
+        adapter = StageCacheAdapter(self.cache) if self.cache is not None else None
+        if adapter is not None:
+            from repro.api.pipeline import use_stage_cache
+
+            context = use_stage_cache(adapter)
+        else:
+            context = _NullContext()
+        with context:
+            result = design_incremental(
+                standing,
+                new_problem,
+                self.parameters,
+                strategy=self.inner_strategy,
+                options=self.options,
+                previous_problem=self.problem,
+                delta=delta,
+                plan=plan,
+            )
+        seconds = time.perf_counter() - start
+
+        digest = problem_digest(new_problem)
+        stages: dict[str, str] = {
+            "plan": "session-reuse" if plan_reused else "miss"
+        }
+        if adapter is not None:
+            stages.update(adapter.stage_states())
+        result.cache = {
+            "request_digest": None,
+            "problem_digest": digest,
+            "stages": stages,
+            "served_from_cache": False,
+            "session_id": self.session_id,
+            "session_event": len(self.events) + 1,
+        }
+
+        self.events.append(
+            SessionEvent(
+                index=len(self.events) + 1,
+                delta_summary=dict(delta.summary()),
+                seconds=seconds,
+                plan_reused=plan_reused,
+                problem_digest=digest,
+                strategy=result.strategy,
+            )
+        )
+        self.problem = new_problem
+        self._result = result
+        self._plan = plan
+        return result
+
+    def summary(self) -> dict:
+        """JSON-friendly session snapshot (the ``repro serve`` stats shape)."""
+        return {
+            "session_id": self.session_id,
+            "strategy": self.strategy,
+            "events": len(self.events),
+            "plan_reuses": sum(1 for event in self.events if event.plan_reused),
+            "event_seconds": [event.seconds for event in self.events],
+            "cache": self.cache.stats().as_dict() if self.cache is not None else None,
+        }
+
+
+__all__ = ["DesignSession", "SessionEvent"]

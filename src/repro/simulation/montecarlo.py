@@ -468,12 +468,20 @@ def run_monte_carlo(
     config: MonteCarloConfig | None = None,
     rng: np.random.Generator | None = None,
     node_isp: dict[str, str | None] | None = None,
+    table: PathTable | None = None,
 ) -> MonteCarloReport:
     """Run the batched Monte-Carlo simulation of ``solution`` on ``problem``.
 
     ``node_isp`` maps node names to ISP names for ISP-outage events; it
     defaults to the reflector colors recorded in the problem, exactly like
     :func:`simulate_solution`.
+
+    ``table`` supplies a pre-compiled :class:`PathTable` (e.g. from the
+    serving cache) and must come from :func:`compile_path_table` over the
+    *same* ``(problem, solution, config.failures, config.num_packets,
+    node_isp)`` -- the table is a pure function of those inputs, so a valid
+    supplied table only skips the compile pass.  Ignored in ``compat`` mode,
+    which replays the legacy per-packet path.
     """
     config = config or MonteCarloConfig()
     if node_isp is None:
@@ -484,9 +492,10 @@ def run_monte_carlo(
     if config.rng_mode == "compat":
         return _run_compat(problem, solution, config, rng, node_isp)
 
-    table = compile_path_table(
-        problem, solution, config.failures, config.num_packets, node_isp
-    )
+    if table is None:
+        table = compile_path_table(
+            problem, solution, config.failures, config.num_packets, node_isp
+        )
     num_packets = config.num_packets
     served = len(table.demand_keys)
     starts = table.demand_path_starts

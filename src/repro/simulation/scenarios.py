@@ -43,7 +43,26 @@ from repro.simulation.failures import (
     sample_isp_outage_schedule,
     sample_regional_outage_schedule,
 )
-from repro.simulation.montecarlo import MonteCarloConfig, run_monte_carlo
+from repro.simulation.montecarlo import (
+    MonteCarloConfig,
+    PathTable,
+    run_monte_carlo,
+)
+
+#: Serving-cache hook signature for :func:`evaluate_design`: maps the exact
+#: ``compile_path_table`` inputs (plus the scenario name, a convenient cache
+#: key component) to a compiled table.
+TableProvider = Callable[
+    [
+        str,
+        OverlayDesignProblem,
+        OverlaySolution,
+        FailureSchedule,
+        int,
+        Mapping[str, str | None],
+    ],
+    PathTable,
+]
 
 
 @dataclass(frozen=True)
@@ -270,6 +289,7 @@ def evaluate_design(
     window: int = 200,
     seed: int = 0,
     node_isp: Mapping[str, str | None] | None = None,
+    table_provider: "TableProvider | None" = None,
 ) -> dict[str, dict[str, float]]:
     """Sweep ``solution`` across the failure catalogue.
 
@@ -277,6 +297,13 @@ def evaluate_design(
     independent, seed-derived generator for both the failure draw and the
     Monte-Carlo run, so the sweep is reproducible from ``seed`` and
     insensitive to the order or subset of scenarios requested.
+
+    ``table_provider`` is the serving cache's hook: called per scenario with
+    the exact :func:`~repro.simulation.montecarlo.compile_path_table` inputs
+    ``(scenario_name, problem, solution, failures, num_packets, node_isp)``,
+    it returns a compiled :class:`~repro.simulation.montecarlo.PathTable`
+    (compiling and memoising as it sees fit).  The table is a pure function
+    of those inputs, so caching changes compile time only, never metrics.
     """
     names = resolve_scenario_names(scenarios)
     isp_map = dict(node_isp) if node_isp is not None else None
@@ -297,12 +324,24 @@ def evaluate_design(
             loss_model=realization.loss_model,
             failures=realization.failures,
         )
+        table = None
+        if table_provider is not None:
+            effective_isp = (
+                isp_map
+                if isp_map is not None
+                else {r: problem.color(r) for r in problem.reflectors}
+            )
+            table = table_provider(
+                name, problem, solution, realization.failures, num_packets,
+                effective_isp,
+            )
         report = run_monte_carlo(
             problem,
             solution,
             config,
             rng=np.random.default_rng([seed, index, 1]),
             node_isp=isp_map,
+            table=table,
         )
         summary = report.summary()
         summary["failure_events"] = float(len(realization.failures))

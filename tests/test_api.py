@@ -14,6 +14,7 @@ import pytest
 
 import repro
 from repro.api import (
+    SCHEMA_VERSION,
     Designer,
     DesignPipeline,
     DesignRequest,
@@ -164,6 +165,37 @@ class TestLegacyEquivalence:
         assert result.solution.assignments == {}
 
 
+class TestDeprecatedWrappers:
+    """Every classic entry point warns once and names its replacement."""
+
+    def test_every_wrapper_emits_a_deprecation_warning(self, problem):
+        calls = [
+            ("design_overlay", lambda: design_overlay(problem, DesignParameters(seed=0))),
+            (
+                "design_overlay_extended",
+                lambda: design_overlay_extended(
+                    problem, color_constrained_parameters(DesignParameters(seed=0))
+                ),
+            ),
+            ("greedy_design", lambda: greedy_design(problem)),
+            (
+                "naive_quality_first_design",
+                lambda: naive_quality_first_design(problem),
+            ),
+            ("single_tree_design", lambda: single_tree_design(problem)),
+            ("random_design", lambda: random_design(problem, rng=1)),
+            ("exact_design", lambda: exact_design(problem)),
+            ("lp_lower_bound", lambda: lp_lower_bound(problem)),
+        ]
+        for name, call in calls:
+            with pytest.warns(DeprecationWarning, match=f"{name} is deprecated"):
+                call()
+
+    def test_warning_names_the_replacement(self, problem):
+        with pytest.warns(DeprecationWarning, match="repro.api.run_request"):
+            design_overlay(problem, DesignParameters(seed=0))
+
+
 class TestSerialization:
     def test_request_roundtrip(self, problem):
         request = DesignRequest(
@@ -179,7 +211,7 @@ class TestSerialization:
             request_id="req-42",
         )
         document = request_to_dict(request)
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == SCHEMA_VERSION
         assert document["kind"] == "design-request"
         restored = request_from_dict(json.loads(json.dumps(document)))
         assert restored.strategy == "greedy"
@@ -196,7 +228,7 @@ class TestSerialization:
         )
         result = get_designer("spaa03").design(request)
         document = json.loads(json.dumps(result_to_dict(result)))
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == SCHEMA_VERSION
         assert document["kind"] == "design-result"
         restored = result_from_dict(document, problem)
         assert restored.strategy == "spaa03"
@@ -431,6 +463,7 @@ def test_api_surface_snapshot():
     """Pin ``repro.__all__``: additions are deliberate, removals are breaking."""
     assert sorted(repro.__all__) == sorted(
         [
+            "ArtifactCache",
             "Demand",
             "DeliveryEdge",
             "Designer",
@@ -439,6 +472,8 @@ def test_api_surface_snapshot():
             "DesignReport",
             "DesignRequest",
             "DesignResult",
+            "DesignService",
+            "DesignSession",
             "EvaluationSpec",
             "ExtensionOptions",
             "MonteCarloConfig",
@@ -463,6 +498,7 @@ def test_api_surface_snapshot():
             "register_designer",
             "repair_weight_shortfalls",
             "run_monte_carlo",
+            "run_request",
             "simulate_solution",
             "__version__",
         ]
