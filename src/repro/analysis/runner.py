@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 SCHEMA_VERSION = 1
 
@@ -279,14 +279,31 @@ def execute_tasks(
     round-trips.  With ``jobs=1`` everything runs inline (no pool, no pickle
     requirement on ``task_fn``).
     """
+    return list(execute_tasks_iter(task_fn, tasks, jobs=jobs))
+
+
+def execute_tasks_iter(
+    task_fn: Callable[[dict], dict | list[dict]],
+    tasks: Sequence[dict],
+    jobs: int | str | None = 1,
+) -> Iterator[dict | list[dict]]:
+    """Lazy :func:`execute_tasks`: yield results in task order as they arrive.
+
+    Same determinism contract (task-order results, ``jobs`` never changes
+    them), but the caller folds each result before the next is held -- the
+    streaming simulation engine consumes tile partials through this so its
+    coordinator memory stays flat in the tile count.
+    """
     jobs = resolve_jobs(jobs)
     tasks = list(tasks)
     if jobs == 1 or len(tasks) <= 1:
-        return [task_fn(task) for task in tasks]
+        for task in tasks:
+            yield task_fn(task)
+        return
     workers = min(jobs, len(tasks))
     chunksize = max(1, math.ceil(len(tasks) / (4 * workers)))
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(task_fn, tasks, chunksize=chunksize))
+        yield from pool.map(task_fn, tasks, chunksize=chunksize)
 
 
 # ---------------------------------------------------------------------------
@@ -610,6 +627,7 @@ __all__ = [
     "collect_environment",
     "compare_records",
     "execute_tasks",
+    "execute_tasks_iter",
     "expand_scenario_ids",
     "get_scenario",
     "load_suite",

@@ -63,19 +63,25 @@ from repro.lp import LinearExpr, LinearProgram, Objective, solve_lp
 from repro.network.reliability import demand_success_probability
 from repro.network.topology import NodeRole
 from repro.simulation import (
+    FailureSchedule,
     MonteCarloConfig,
     SimulationConfig,
+    StreamingConfig,
+    compile_path_table,
     evaluate_design,
     failure_scenario_names,
     run_monte_carlo,
+    run_streaming_monte_carlo,
     simulate_solution,
 )
 from repro.workloads import (
     AkamaiLikeConfig,
     FlashCrowdConfig,
+    InternetScaleConfig,
     RandomInstanceConfig,
     generate_akamai_like_topology,
     generate_flash_crowd_scenario,
+    generate_internet_scale_problem,
     random_problem,
 )
 from repro.workloads.tiny import build_tiny_problem
@@ -2368,5 +2374,276 @@ register_scenario(
         "repeat-digest requests (bit-identical payloads, >= 10x faster at "
         "full size), in-flight dedup, and a 5-event churn stream through one "
         "DesignSession against five independent update calls.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# R3 -- streaming million-demand reliability audit (memory-bounded folds)
+# ---------------------------------------------------------------------------
+
+
+def r3_task(task: dict) -> list[dict]:
+    """Design one internet-scale instance, then audit it along a trial ladder.
+
+    One row per ladder rung, each measuring the streaming fold alone: the
+    path table is compiled (and the design produced) before ``tracemalloc``
+    starts, so ``peak_rss_bytes`` is the audit's working set -- tile buffers,
+    tile tasks, and the per-demand accumulators.  The rung results must be
+    flat in the trial count: that is the memory contract of
+    :func:`repro.simulation.run_streaming_monte_carlo`.
+    """
+    import tracemalloc
+
+    problem, _registry = generate_internet_scale_problem(
+        InternetScaleConfig(num_sinks=task["sinks"]), rng=task["rng"]
+    )
+    solution = (
+        get_designer(task["designer"])
+        .design(
+            DesignRequest(
+                problem=problem, parameters=DesignParameters(seed=task["seed"])
+            )
+        )
+        .solution
+    )
+    node_isp = {r: problem.color(r) for r in problem.reflectors}
+    table = compile_path_table(
+        problem, solution, FailureSchedule(), task["packets"], node_isp
+    )
+
+    matches_batched = None
+    if task["differential"]:
+        # Bit-identical leg: a single-tile streaming run shares the batched
+        # engine's draw order exactly (same per-tile stream, one tile).
+        trials = task["trial_ladder"][0]
+        single = run_streaming_monte_carlo(
+            problem,
+            solution,
+            StreamingConfig(
+                num_packets=task["packets"],
+                trials=trials,
+                window=task["window"],
+                seed=task["eval_seed"],
+                demand_tile=10**9,
+                trial_tile=10**9,
+            ),
+            node_isp=node_isp,
+            table=table,
+        )
+        batched = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(
+                num_packets=task["packets"],
+                trials=trials,
+                window=task["window"],
+                max_batch_bytes=2**40,
+            ),
+            rng=np.random.default_rng(np.random.SeedSequence([task["eval_seed"], 0])),
+        )
+        # The batched report lists demands in problem order and aggregates
+        # per-trial floats; align by key and compare the *exact* integer
+        # sufficient statistics (loss counts and lcm-scaled worst windows are
+        # recoverable bit-for-bit from the correctly-rounded trial floats).
+        served = len(table.demand_keys)
+        by_key = {d.demand_key: d for d in batched.demands}
+        aligned = [by_key[key] for key in single.demand_keys[:served]]
+        counts = np.rint(
+            np.stack([d.loss for d in aligned]) * task["packets"]
+        ).astype(np.int64)
+        scale = single.accumulator.worst_scale
+        worst = np.rint(
+            np.stack([d.worst_window for d in aligned]) * scale
+        ).astype(np.int64)
+        duplicates = np.stack([d.duplicates for d in aligned])
+        accumulator = single.accumulator
+        matches_batched = bool(
+            np.array_equal(accumulator.loss_sum[:served], counts.sum(axis=1))
+            and np.array_equal(accumulator.loss_max[:served], counts.max(axis=1))
+            and np.array_equal(accumulator.worst_sum[:served], worst.sum(axis=1))
+            and np.array_equal(accumulator.worst_max[:served], worst.max(axis=1))
+            and np.array_equal(
+                accumulator.duplicates_sum[:served], duplicates.sum(axis=1)
+            )
+            and np.array_equal(
+                single.meets_threshold_fraction[:served],
+                np.asarray([d.meets_threshold_fraction for d in aligned]),
+            )
+        )
+
+    rows = []
+    for trials in task["trial_ladder"]:
+        streaming_config = StreamingConfig(
+            num_packets=task["packets"],
+            trials=trials,
+            window=task["window"],
+            seed=task["eval_seed"],
+            max_memory=task["max_memory"],
+        )
+        tracemalloc.start()
+        start = time.perf_counter()
+        report = run_streaming_monte_carlo(
+            problem,
+            solution,
+            streaming_config,
+            node_isp=node_isp,
+            table=table,
+            traces=tuple(task["traces"]),
+        )
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        row = {
+            "sinks": task["sinks"],
+            "trials": trials,
+            "packets": task["packets"],
+            "demands": report.num_demands,
+            "served_demands": len(table.demand_keys),
+            "num_tiles": report.plan.num_tiles,
+            "mean_loss": report.mean_loss,
+            "max_loss": report.max_loss,
+            "mean_worst_window_loss": report.mean_worst_window,
+            "fraction_meeting_threshold": report.fraction_meeting_threshold,
+            "peak_rss_bytes": int(peak),
+            "rss_budget": task["rss_budget"],
+            "matches_batched": matches_batched,
+            "audit_seconds": elapsed,
+        }
+        for name in sorted(report.traces):
+            summary = report.traces[name].summary()
+            key = name.replace("-", "_")
+            row[f"{key}_peak_window_loss"] = summary["peak_window_loss"]
+            row[f"{key}_rebuffer_session_fraction"] = summary[
+                "rebuffer_session_fraction"
+            ]
+        rows.append(row)
+    return rows
+
+
+def r3_tasks(master_seed: int, smoke: bool) -> list[dict]:
+    if smoke:
+        return [
+            {
+                "sinks": 50_000,
+                "rng": master_seed * 100 + 7,
+                "designer": "naive-quality-first",
+                "seed": master_seed,
+                "eval_seed": master_seed + 31,
+                "packets": 500,
+                "window": 100,
+                "trial_ladder": [2, 4, 8],
+                "max_memory": 64 * 2**20,
+                "rss_budget": 256 * 2**20,
+                "traces": ["diurnal", "metro-diurnal"],
+                "differential": True,
+            }
+        ]
+    return [
+        {
+            "sinks": 1_000_000,
+            "rng": master_seed * 100 + 7,
+            "designer": "naive-quality-first",
+            "seed": master_seed,
+            "eval_seed": master_seed + 31,
+            "packets": 500,
+            "window": 100,
+            "trial_ladder": [100, 1000],
+            "max_memory": 256 * 2**20,
+            "rss_budget": 1536 * 2**20,
+            "traces": ["diurnal", "metro-diurnal"],
+            # A single-tile run over 1M x 100 trials cannot fit in RAM --
+            # exactly why the streaming engine exists; the bit-identity claim
+            # is carried by the smoke leg and tests/test_streaming.py.
+            "differential": False,
+        }
+    ]
+
+
+def r3_metrics(rows: list[dict]) -> dict[str, float]:
+    last = rows[-1]
+    peaks = [row["peak_rss_bytes"] for row in rows]
+    out = {
+        "mean_loss": last["mean_loss"],
+        "fraction_meeting_threshold": last["fraction_meeting_threshold"],
+        "rss_flatness_ratio": max(peaks) / min(peaks),
+    }
+    if rows[0]["matches_batched"] is not None:
+        out["streaming_matches_batched"] = float(rows[0]["matches_batched"])
+    return out
+
+
+def r3_validate(record: BenchRecord) -> list[str]:
+    failures = []
+    for row in record.rows:
+        label = f"{row['sinks']} sinks x {row['trials']} trials"
+        if row["peak_rss_bytes"] > row["rss_budget"]:
+            failures.append(
+                f"{label}: audit peak {row['peak_rss_bytes']} bytes exceeds the "
+                f"{row['rss_budget']}-byte budget"
+            )
+        if row["matches_batched"] is False:
+            failures.append(
+                f"{label}: single-tile streaming run diverges from the batched engine"
+            )
+        if not 0.0 < row["mean_loss"] < 0.2:
+            failures.append(
+                f"{label}: implausible mean loss {row['mean_loss']:.4f}"
+            )
+        if row["diurnal_peak_window_loss"] <= 0.0:
+            failures.append(f"{label}: diurnal trace replay saw no windowed loss")
+    peaks = [row["peak_rss_bytes"] for row in record.rows]
+    if max(peaks) / min(peaks) > 1.5:
+        failures.append(
+            "streaming peak memory grows with the trial count "
+            f"(ladder peaks: {peaks}); the fold is supposed to be flat"
+        )
+    return failures
+
+
+register_scenario(
+    ScenarioSpec(
+        scenario_id="r3",
+        title="R3: streaming million-demand reliability audit (flat-RSS fold)",
+        task_fn=r3_task,
+        make_tasks=r3_tasks,
+        policies={
+            # Streaming results are a pure function of the seeds and the
+            # effective tile grid, so the statistics are drift-gated exactly.
+            "mean_loss": MetricPolicy("equal", rel_tol=1e-9, abs_tol=1e-12),
+            "fraction_meeting_threshold": MetricPolicy(
+                "equal", rel_tol=1e-9, abs_tol=1e-12
+            ),
+            "streaming_matches_batched": MetricPolicy("higher", rel_tol=0.0),
+            # Allocator layout shifts move tracemalloc peaks a little.
+            "rss_flatness_ratio": MetricPolicy("lower", abs_tol=0.25),
+        },
+        derive_metrics=r3_metrics,
+        validate=r3_validate,
+        artifact="R3_streaming_audit",
+        columns=[
+            "sinks",
+            "trials",
+            "packets",
+            "demands",
+            "served_demands",
+            "num_tiles",
+            "mean_loss",
+            "max_loss",
+            "mean_worst_window_loss",
+            "fraction_meeting_threshold",
+            "peak_rss_bytes",
+            "matches_batched",
+            "audit_seconds",
+            "diurnal_peak_window_loss",
+            "diurnal_rebuffer_session_fraction",
+            "metro_diurnal_peak_window_loss",
+            "metro_diurnal_rebuffer_session_fraction",
+        ],
+        suites=("reliability", "scale"),
+        description="Memory-bounded streaming audit of an internet-scale design: "
+        "trial-ladder peak-RSS flatness under a working-set budget, bit-identity "
+        "of the single-tile run vs the batched engine, and diurnal trace replay "
+        "(smoke: 50k sinks; full: 1M sinks x 1k trials).",
     )
 )

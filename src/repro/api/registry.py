@@ -86,18 +86,31 @@ class RegisteredDesigner:
             # Reliability sweep across the failure-scenario catalogue; lazy
             # import keeps the registry importable without the simulation
             # stack (and avoids a circular import at module load).
-            from repro.simulation import evaluate_design
+            from repro.simulation import evaluate_design, evaluate_design_streaming
 
             spec = request.evaluation
-            result.evaluation = evaluate_design(
-                request.problem,
-                result.solution,
-                spec.scenarios,
-                trials=spec.trials,
-                num_packets=spec.num_packets,
-                window=spec.window,
-                seed=spec.seed,
-            )
+            if spec.mode == "streaming":
+                result.evaluation = evaluate_design_streaming(
+                    request.problem,
+                    result.solution,
+                    spec.scenarios,
+                    trials=spec.trials,
+                    num_packets=spec.num_packets,
+                    window=spec.window,
+                    seed=spec.seed,
+                    traces=spec.traces,
+                    max_memory=spec.max_memory,
+                )
+            else:
+                result.evaluation = evaluate_design(
+                    request.problem,
+                    result.solution,
+                    spec.scenarios,
+                    trials=spec.trials,
+                    num_packets=spec.num_packets,
+                    window=spec.window,
+                    seed=spec.seed,
+                )
         return result
 
 

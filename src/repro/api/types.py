@@ -71,6 +71,17 @@ class EvaluationSpec:
         byte-aligned fast path).
     seed:
         Seed of the evaluation sweep (failure draws + engine randomness).
+    mode:
+        ``"batched"`` (the in-RAM engine, the default) or ``"streaming"``
+        (the memory-bounded tiled fold of
+        :func:`repro.simulation.evaluate_design_streaming`).
+    traces:
+        Registered load-trace names replayed through the streaming fold
+        (per-window loss + rebuffering metrics); requires
+        ``mode="streaming"``.
+    max_memory:
+        Streaming working-set bound in bytes (``None`` keeps the default
+        tile grid).
     """
 
     scenarios: tuple[str, ...] | str = "all"
@@ -78,28 +89,48 @@ class EvaluationSpec:
     num_packets: int = 2000
     window: int = 200
     seed: int = 0
+    mode: str = "batched"
+    traces: tuple[str, ...] = ()
+    max_memory: int | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.scenarios, list):
             self.scenarios = tuple(self.scenarios)
+        if isinstance(self.traces, list):
+            self.traces = tuple(self.traces)
         if self.trials <= 0:
             raise ValueError("trials must be positive")
         if self.num_packets <= 0:
             raise ValueError("num_packets must be positive")
         if self.window <= 0:
             raise ValueError("window must be positive")
+        if self.mode not in ("batched", "streaming"):
+            raise ValueError(f"mode must be 'batched' or 'streaming', got {self.mode!r}")
+        if self.traces and self.mode != "streaming":
+            raise ValueError("traces require mode='streaming'")
+        if self.max_memory is not None and self.max_memory <= 0:
+            raise ValueError("max_memory must be positive when set")
 
 
 def evaluation_spec_to_dict(spec: EvaluationSpec) -> dict[str, Any]:
     """Encode an :class:`EvaluationSpec` as a JSON-compatible mapping."""
     scenarios = spec.scenarios
-    return {
+    data: dict[str, Any] = {
         "scenarios": list(scenarios) if not isinstance(scenarios, str) else scenarios,
         "trials": spec.trials,
         "num_packets": spec.num_packets,
         "window": spec.window,
         "seed": spec.seed,
     }
+    # Streaming fields are additive: emitted only when non-default so
+    # documents written for the batched mode are byte-stable across builds.
+    if spec.mode != "batched":
+        data["mode"] = spec.mode
+    if spec.traces:
+        data["traces"] = list(spec.traces)
+    if spec.max_memory is not None:
+        data["max_memory"] = spec.max_memory
+    return data
 
 
 def evaluation_spec_from_dict(data: dict[str, Any]) -> EvaluationSpec:
@@ -111,6 +142,9 @@ def evaluation_spec_from_dict(data: dict[str, Any]) -> EvaluationSpec:
         num_packets=data.get("num_packets", 2000),
         window=data.get("window", 200),
         seed=data.get("seed", 0),
+        mode=data.get("mode", "batched"),
+        traces=tuple(data.get("traces", ())),
+        max_memory=data.get("max_memory"),
     )
 
 

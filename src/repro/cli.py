@@ -414,23 +414,41 @@ def _simulate_scenario_task(task: dict) -> dict:
 
     Module-level so the parallel executor can pickle it; paths travel in the
     task dict and are re-loaded inside the worker.  Metrics come from
-    :func:`repro.simulation.evaluate_design`, so a CLI sweep is seeded and
-    assembled identically to the Designer-API and R2 sweeps.
+    :func:`repro.simulation.evaluate_design` (or its streaming variant when
+    the task carries ``stream=True``), so a CLI sweep is seeded and assembled
+    identically to the Designer-API and R2 sweeps.
     """
-    from repro.simulation import evaluate_design
-
     problem = load_problem(task["problem"])
     solution = load_solution(task["solution"], problem)
-    metrics = evaluate_design(
-        problem,
-        solution,
-        (task["scenario"],),
-        trials=task["trials"],
-        num_packets=task["packets"],
-        window=task["window"],
-        seed=task["seed"],
-    )[task["scenario"]]
-    return {
+    if task.get("stream"):
+        from repro.simulation import evaluate_design_streaming
+
+        metrics = evaluate_design_streaming(
+            problem,
+            solution,
+            (task["scenario"],),
+            trials=task["trials"],
+            num_packets=task["packets"],
+            window=task["window"],
+            seed=task["seed"],
+            traces=tuple(task.get("traces") or ()),
+            demand_tile=task.get("demand_tile"),
+            trial_tile=task.get("trial_tile"),
+            max_memory=task.get("max_memory"),
+        )[task["scenario"]]
+    else:
+        from repro.simulation import evaluate_design
+
+        metrics = evaluate_design(
+            problem,
+            solution,
+            (task["scenario"],),
+            trials=task["trials"],
+            num_packets=task["packets"],
+            window=task["window"],
+            seed=task["seed"],
+        )[task["scenario"]]
+    row = {
         "scenario": task["scenario"],
         "failure_events": int(metrics["failure_events"]),
         "mean_loss": metrics["mean_loss"],
@@ -439,6 +457,10 @@ def _simulate_scenario_task(task: dict) -> dict:
         "mean_worst_window_loss": metrics["mean_worst_window_loss"],
         "fraction_meeting_threshold": metrics["fraction_meeting_threshold"],
     }
+    for key, value in metrics.items():
+        if key.startswith("trace:"):
+            row[key] = value
+    return row
 
 
 def _list_failure_scenarios() -> int:
@@ -456,12 +478,48 @@ def _list_failure_scenarios() -> int:
     return 0
 
 
+def _list_load_traces() -> int:
+    from repro.simulation import get_load_trace, load_trace_names
+
+    rows = [
+        {"trace": name, "description": get_load_trace(name).description}
+        for name in load_trace_names()
+    ]
+    print(format_table(rows, title="registered load traces"))
+    return 0
+
+
+def _parse_memory_size(text: str) -> int:
+    """Parse a byte budget like ``512M``, ``1.5G``, ``64MiB``, or ``1048576``."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+    raw = text.strip().lower()
+    if raw.endswith("ib"):
+        raw = raw[:-2]
+    elif raw.endswith("b"):
+        raw = raw[:-1]
+    scale = 1
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse memory size {text!r} (use bytes or a K/M/G/T suffix)"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"memory size must be positive, got {text!r}")
+    return int(value * scale)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.runner import execute_tasks, resolve_jobs
     from repro.simulation import MonteCarloConfig, failure_scenario_names, run_monte_carlo
 
     if args.list_scenarios:
         return _list_failure_scenarios()
+    if args.list_traces:
+        return _list_load_traces()
     if not args.problem or not args.solution:
         print("error: --problem and --solution are required", file=sys.stderr)
         return 2
@@ -470,6 +528,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    max_memory = None
+    if args.max_memory is not None:
+        try:
+            max_memory = _parse_memory_size(args.max_memory)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    traces = []
+    for chunk in args.trace or []:
+        traces.extend(t.strip() for t in chunk.split(",") if t.strip())
+    if traces and not args.stream:
+        print("error: --trace requires --stream", file=sys.stderr)
+        return 2
+    if (args.demand_tile is not None or args.trial_tile is not None) and not args.stream:
+        print("error: --demand-tile/--trial-tile require --stream", file=sys.stderr)
+        return 2
+    if traces:
+        from repro.simulation import load_trace_names
+
+        unknown = [t for t in traces if t not in load_trace_names()]
+        if unknown:
+            print(
+                f"error: unknown trace(s) {', '.join(unknown)}; "
+                f"known: {', '.join(load_trace_names())}",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.scenario:
         if args.engine not in ("auto", "vectorized"):
@@ -501,16 +587,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "trials": args.trials,
                 "window": args.window if args.window is not None else 200,
                 "seed": args.seed,
+                "stream": args.stream,
+                "traces": traces,
+                "demand_tile": args.demand_tile,
+                "trial_tile": args.trial_tile,
+                "max_memory": max_memory if args.stream else None,
             }
             for name in names
         ]
         rows = execute_tasks(_simulate_scenario_task, tasks, jobs=jobs)
+        engine_note = "streaming, " if args.stream else ""
         print(
             format_table(
                 rows,
                 title=(
-                    f"reliability sweep ({args.trials} trials x {args.packets} "
-                    f"packets, jobs={jobs})"
+                    f"reliability sweep ({engine_note}{args.trials} trials x "
+                    f"{args.packets} packets, jobs={jobs})"
                 ),
             )
         )
@@ -518,6 +610,59 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     problem = load_problem(args.problem)
     solution = load_solution(args.solution, problem)
+
+    if args.stream:
+        if args.engine not in ("auto", "vectorized"):
+            print(
+                f"error: --engine {args.engine} cannot be combined with --stream",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.simulation import (
+            StreamingConfig,
+            StreamingMemoryError,
+            run_streaming_monte_carlo,
+        )
+
+        config = StreamingConfig(
+            num_packets=args.packets,
+            trials=args.trials,
+            window=args.window if args.window is not None else 200,
+            seed=args.seed,
+            demand_tile=args.demand_tile,
+            trial_tile=args.trial_tile,
+            max_memory=max_memory,
+        )
+        try:
+            report = run_streaming_monte_carlo(
+                problem, solution, config, traces=tuple(traces), jobs=jobs
+            )
+        except StreamingMemoryError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rows = [
+            {"metric": key, "value": value} for key, value in report.summary().items()
+        ]
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"streaming Monte-Carlo audit ({args.trials} trials x "
+                    f"{args.packets} packets, {report.plan.num_tiles} tiles, "
+                    f"jobs={jobs})"
+                ),
+            )
+        )
+        for name in sorted(report.traces):
+            trace_rows = [
+                {"metric": key, "value": value}
+                for key, value in report.traces[name].summary().items()
+                if key != "trace"
+            ]
+            print()
+            print(format_table(trace_rows, title=f"trace replay: {name}"))
+        return 0
+
     engine = args.engine
     if engine == "auto":
         engine = "legacy" if args.trials == 1 else "vectorized"
@@ -547,12 +692,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         return 0
 
+    batch_kwargs = {"max_batch_bytes": max_memory} if max_memory is not None else {}
     config = MonteCarloConfig(
         num_packets=args.packets,
         trials=args.trials,
         window=args.window if args.window is not None else 200,
         seed=args.seed,
         rng_mode="compat" if engine == "compat" else "batched",
+        **batch_kwargs,
     )
     report = run_monte_carlo(problem, solution, config)
     rows = [
@@ -751,7 +898,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_bytes=args.cache_bytes if args.cache_bytes is not None else DEFAULT_MAX_BYTES,
         spill_dir=args.spill_dir,
     )
-    service = DesignService(cache=cache, workers=args.workers)
+    service = DesignService(cache=cache, workers=args.workers, max_queue=args.max_queue)
     server = DesignServer(service, host=args.host, port=args.port)
     server.start()
     print(
@@ -1070,6 +1217,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered failure scenarios and exit",
     )
+    simulate.add_argument(
+        "--stream",
+        action="store_true",
+        help="memory-bounded streaming engine: tile the demands x trials plane "
+        "and fold exact mergeable accumulators (results independent of tiling "
+        "and --jobs)",
+    )
+    simulate.add_argument(
+        "--trace",
+        action="append",
+        help="replay registered load trace(s) through the streaming fold "
+        "(repeatable / comma-separated; requires --stream; see --list-traces)",
+    )
+    simulate.add_argument(
+        "--list-traces",
+        action="store_true",
+        help="list the registered load traces and exit",
+    )
+    simulate.add_argument(
+        "--max-memory",
+        help="working-set byte budget, e.g. 512M or 2G (streaming: shrinks the "
+        "tile grid to fit; batched: caps the per-chunk trial block)",
+    )
+    simulate.add_argument(
+        "--demand-tile",
+        type=int,
+        default=None,
+        help="streaming tile height in demands (default: auto)",
+    )
+    simulate.add_argument(
+        "--trial-tile",
+        type=int,
+        default=None,
+        help="streaming tile width in trials (default: auto)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     bench = sub.add_parser(
@@ -1131,6 +1313,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--spill-dir", help="spill evicted artifacts to this directory (default: off)"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound the pending-request queue; full queue answers HTTP 429 "
+        "(default: unbounded)",
     )
     serve.add_argument(
         "--self-test",

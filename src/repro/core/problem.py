@@ -140,6 +140,11 @@ class OverlayDesignProblem:
         self._sink_set: set[str] = set()
         self._stream_edges: dict[tuple[str, str], StreamEdge] = {}
         self._delivery_links: dict[tuple[str, str], tuple[float, float]] = {}
+        # Inverted index sink -> reflectors with a delivery edge, so candidate
+        # lookups cost O(candidates) instead of scanning every reflector (the
+        # difference between seconds and hours at internet scale).
+        self._sink_reflectors: dict[str, list[str]] = {}
+        self._reflector_order: dict[str, int] = {}
         self._delivery_stream_costs: dict[tuple[str, str], dict[str, float]] = {}
         self._demands: list[Demand] = []
         self._demand_keys: set[tuple[str, str]] = set()
@@ -183,6 +188,7 @@ class OverlayDesignProblem:
             raise ValueError(f"reflector fanout must be positive, got {fanout}")
         if capacity is not None and capacity <= 0:
             raise ValueError(f"reflector capacity must be positive, got {capacity}")
+        self._reflector_order[reflector] = len(self._reflectors)
         self._reflectors[reflector] = ReflectorInfo(
             name=reflector, cost=float(cost), fanout=int(fanout), color=color, capacity=capacity
         )
@@ -234,6 +240,7 @@ class OverlayDesignProblem:
         if key in self._delivery_links:
             raise ValueError(f"delivery edge {key} already exists")
         self._delivery_links[key] = (float(loss_probability), float(cost))
+        self._sink_reflectors.setdefault(sink, []).append(reflector)
         if stream_costs:
             for stream, stream_cost in stream_costs.items():
                 self._require_stream(stream)
@@ -392,13 +399,19 @@ class OverlayDesignProblem:
 
     # ----------------------------------------------------- derived quantities
     def candidate_reflectors(self, demand: Demand) -> list[str]:
-        """Reflectors that can serve ``demand`` (both edges present)."""
-        return [
+        """Reflectors that can serve ``demand`` (both edges present).
+
+        Listed in reflector registration order (the order a full scan of
+        ``self._reflectors`` would produce), via the per-sink delivery index.
+        """
+        stream = demand.stream
+        candidates = [
             reflector
-            for reflector in self._reflectors
-            if (demand.stream, reflector) in self._stream_edges
-            and (reflector, demand.sink) in self._delivery_links
+            for reflector in self._sink_reflectors.get(demand.sink, ())
+            if (stream, reflector) in self._stream_edges
         ]
+        candidates.sort(key=self._reflector_order.__getitem__)
+        return candidates
 
     def path_failure(self, demand: Demand, reflector: str) -> float:
         """Two-hop failure probability for serving ``demand`` via ``reflector``."""

@@ -32,6 +32,7 @@ from repro.serve.service import (
     DesignServer,
     DesignService,
     DesignTicket,
+    ServiceOverloadedError,
     run_self_test,
 )
 from repro.serve.session import DesignSession, SessionEvent
@@ -43,6 +44,7 @@ __all__ = [
     "DesignService",
     "DesignSession",
     "DesignTicket",
+    "ServiceOverloadedError",
     "SessionEvent",
     "StageCacheAdapter",
     "formulation_key",

@@ -47,6 +47,15 @@ from repro.serve.execute import run_request_cached
 _SHUTDOWN = object()
 
 
+class ServiceOverloadedError(RuntimeError):
+    """Raised by :meth:`DesignService.submit` when the bounded queue is full.
+
+    Backpressure, not failure: the request was never enqueued, so the caller
+    should retry later (the HTTP front maps this to ``429 Too Many Requests``
+    with a ``Retry-After`` hint).
+    """
+
+
 @dataclass
 class DesignTicket:
     """A submitted request's handle: digest, dedup marker, and a future."""
@@ -81,13 +90,19 @@ class DesignService:
         cache: ArtifactCache | None = None,
         workers: int = 2,
         bypass_cache: bool = False,
+        max_queue: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.cache = cache if cache is not None else ArtifactCache()
         self.workers = workers
         self.bypass_cache = bypass_cache
-        self._queue: queue.Queue = queue.Queue()
+        self.max_queue = max_queue
+        # Bounded only for submissions: shutdown sentinels and the workers
+        # use blocking puts/gets, so `stop()` still drains cleanly.
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue or 0)
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
@@ -97,6 +112,7 @@ class DesignService:
             "completed": 0,
             "deduplicated": 0,
             "errors": 0,
+            "rejected": 0,
         }
         self._started = False
 
@@ -136,7 +152,10 @@ class DesignService:
         """Enqueue a request (object or versioned JSON document).
 
         Returns immediately; join the in-flight computation when an equal-
-        digest request is already queued or running.
+        digest request is already queued or running.  With ``max_queue`` set
+        and the queue full, raises :class:`ServiceOverloadedError` instead of
+        enqueueing (deduplicated joins never consume a queue slot, so repeat
+        digests still get tickets under overload).
         """
         if not self._started:
             raise RuntimeError("DesignService is not started (use 'with service:')")
@@ -158,7 +177,19 @@ class DesignService:
             future: Future = Future()
             if digest is not None:
                 self._inflight[digest] = future
-        self._queue.put((request, digest, future, time.perf_counter()))
+        try:
+            self._queue.put_nowait((request, digest, future, time.perf_counter()))
+        except queue.Full:
+            with self._lock:
+                self._counters["rejected"] += 1
+                # The future was never handed to a worker: retire its dedup
+                # line so later submits do not join a computation that will
+                # never run.
+                if digest is not None and self._inflight.get(digest) is future:
+                    del self._inflight[digest]
+            raise ServiceOverloadedError(
+                f"design queue is full ({self.max_queue} pending); retry later"
+            ) from None
         return DesignTicket(
             request_id=request.request_id,
             digest=digest,
@@ -211,6 +242,7 @@ class DesignService:
             **counters,
             "in_flight": inflight,
             "queue_depth": self._queue.qsize(),
+            "max_queue": self.max_queue,
             "workers": self.workers,
             "latency_p50_seconds": _percentile(latencies, 50.0),
             "latency_p99_seconds": _percentile(latencies, 99.0),
@@ -238,11 +270,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, *args: Any) -> None:  # pragma: no cover - silence
         pass
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -263,6 +299,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             document = json.loads(self.rfile.read(length) or b"{}")
             ticket = self.service.submit(document)
             result = ticket.result()
+        except ServiceOverloadedError as error:
+            self._respond(429, {"error": str(error)}, headers={"Retry-After": "1"})
+            return
         except (ValueError, KeyError) as error:
             self._respond(400, {"error": str(error)})
             return
@@ -473,5 +512,6 @@ __all__ = [
     "DesignServer",
     "DesignService",
     "DesignTicket",
+    "ServiceOverloadedError",
     "run_self_test",
 ]

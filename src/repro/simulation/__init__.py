@@ -19,8 +19,15 @@ process for any :class:`repro.core.OverlaySolution`:
 * :mod:`repro.simulation.montecarlo` -- the batched Monte-Carlo engine
   (:func:`run_monte_carlo`): all demands x all trials as numpy arrays, with a
   bit-compatible ``rng_mode="compat"`` anchored to the legacy engine;
+* :mod:`repro.simulation.streaming` -- the memory-bounded streaming audit
+  (:func:`run_streaming_monte_carlo`): tiles the demands x trials plane,
+  folds exact mergeable accumulators per tile, flat RSS in the trial count;
+* :mod:`repro.simulation.traces` -- diurnal :class:`LoadTrace` catalogue
+  (arrival/departure processes) for trace-driven replay through the
+  streaming fold;
 * :mod:`repro.simulation.scenarios` -- the registered failure-scenario
-  catalogue (:func:`evaluate_design` sweeps a design across it).
+  catalogue (:func:`evaluate_design` sweeps a design across it;
+  :func:`evaluate_design_streaming` is the memory-bounded variant).
 
 The engines are the empirical cross-check for the analytic reliability claims
 and the workhorse of the C1/T6/R1/R2 benchmarks; see ``docs/simulation.md``
@@ -42,6 +49,7 @@ from repro.simulation.montecarlo import (
     PathTable,
     compile_path_table,
     run_monte_carlo,
+    slice_path_table,
 )
 from repro.simulation.packets import StreamSession
 from repro.simulation.reconstruction import post_reconstruction_loss, reconstruct
@@ -50,10 +58,26 @@ from repro.simulation.scenarios import (
     ScenarioContext,
     ScenarioRealization,
     evaluate_design,
+    evaluate_design_streaming,
     failure_scenario_names,
     get_failure_scenario,
     realize_scenario,
     register_failure_scenario,
+)
+from repro.simulation.streaming import (
+    StreamingAccumulator,
+    StreamingConfig,
+    StreamingMemoryError,
+    StreamingReport,
+    TraceReport,
+    run_streaming_monte_carlo,
+)
+from repro.simulation.traces import (
+    LoadTrace,
+    SessionActivity,
+    get_load_trace,
+    load_trace_names,
+    register_load_trace,
 )
 from repro.simulation.transport import simulate_demand_paths, simulate_link_losses
 
@@ -62,27 +86,40 @@ __all__ = [
     "FailureEvent",
     "FailureScenario",
     "FailureSchedule",
+    "LoadTrace",
     "MonteCarloConfig",
     "MonteCarloReport",
     "PathTable",
     "ScenarioContext",
     "ScenarioRealization",
+    "SessionActivity",
     "SimulationConfig",
     "SimulationReport",
     "StreamSession",
+    "StreamingAccumulator",
+    "StreamingConfig",
+    "StreamingMemoryError",
+    "StreamingReport",
+    "TraceReport",
     "compile_path_table",
     "evaluate_design",
+    "evaluate_design_streaming",
     "failure_scenario_names",
     "get_failure_scenario",
+    "get_load_trace",
+    "load_trace_names",
     "post_reconstruction_loss",
     "realize_scenario",
     "reconstruct",
     "register_failure_scenario",
+    "register_load_trace",
     "run_monte_carlo",
+    "run_streaming_monte_carlo",
     "sample_flash_crowd_congestion",
     "sample_isp_outage_schedule",
     "sample_regional_outage_schedule",
     "simulate_demand_paths",
     "simulate_link_losses",
     "simulate_solution",
+    "slice_path_table",
 ]

@@ -381,15 +381,18 @@ class MonteCarloReport:
 # ---------------------------------------------------------------------------
 
 
-def _chunk_trials(table: PathTable, config: MonteCarloConfig) -> list[int]:
-    """Deterministic trial chunking under the working-set bound."""
+def estimate_trial_bytes(table: PathTable, loss_model: LossModel, num_packets: int) -> float:
+    """Approximate working-set bytes one trial of ``table`` needs.
+
+    Shared between the batched engine's trial chunking and the streaming
+    engine's tile-fit checks, so both enforce the same working-set bound.
+    """
     from repro.network.loss import _SPARSE_SAMPLING_THRESHOLD, _gap_budget
 
-    num_packets = config.num_packets
     num_bytes = (num_packets + 7) // 8
     rows = table.num_first_hops + 2 * table.num_paths + len(table.demand_keys)
     per_trial = float(rows * (num_bytes * 3 + 96))
-    if type(config.loss_model) is BernoulliLossModel:
+    if type(loss_model) is BernoulliLossModel:
         # Per-row sampling footprint mirrors sample_packed_loss_matrix: lossy
         # rows (p >= the sparse threshold) draw dense float64 uniforms, the
         # rest draw ~gap-budget float32 exponentials plus position arrays.
@@ -401,11 +404,64 @@ def _chunk_trials(table: PathTable, config: MonteCarloConfig) -> list[int]:
     else:
         # Dense models materialize (rows, chunk, packets) draws before packing.
         per_trial = float(rows * num_packets * 20)
+    return per_trial
+
+
+def _chunk_trials(table: PathTable, config: MonteCarloConfig) -> list[int]:
+    """Deterministic trial chunking under the working-set bound."""
+    per_trial = estimate_trial_bytes(table, config.loss_model, config.num_packets)
     chunk = int(np.clip(config.max_batch_bytes // max(int(per_trial), 1), 1, config.trials))
     sizes = [chunk] * (config.trials // chunk)
     if config.trials % chunk:
         sizes.append(config.trials % chunk)
     return sizes
+
+
+def slice_path_table(table: PathTable, start: int, stop: int) -> PathTable:
+    """The sub-table covering demand rows ``[start, stop)`` of ``table``.
+
+    Path rows stay in table order (they are contiguous per demand); first
+    hops are restricted to the referenced subset with their relative order
+    preserved, so running the engine on the slice consumes randomness exactly
+    as a table compiled for those demands alone would.
+    """
+    if not 0 <= start <= stop <= len(table.demand_keys):
+        raise IndexError(f"demand slice [{start}, {stop}) outside [0, {len(table.demand_keys)})")
+    if start == stop:
+        path_lo = path_hi = 0
+    else:
+        path_lo = int(table.demand_path_starts[start])
+        path_hi = int(table.demand_path_starts[stop - 1] + table.demand_num_paths[stop - 1])
+    path_first_hop = table.path_first_hop[path_lo:path_hi]
+    used = np.unique(path_first_hop)
+    remap = np.full(table.num_first_hops, -1, dtype=np.intp)
+    remap[used] = np.arange(used.size, dtype=np.intp)
+    new_first_hop = remap[path_first_hop]
+    used_set = set(int(row) for row in used)
+    return PathTable(
+        demand_keys=table.demand_keys[start:stop],
+        demand_thresholds=table.demand_thresholds[start:stop],
+        demand_path_starts=table.demand_path_starts[start:stop] - path_lo,
+        demand_num_paths=table.demand_num_paths[start:stop],
+        first_hop_links=[table.first_hop_links[int(row)] for row in used],
+        first_hop_loss=table.first_hop_loss[used],
+        first_hop_profiles=[
+            (int(remap[row]), hard, segments)
+            for row, hard, segments in table.first_hop_profiles
+            if row in used_set
+        ],
+        first_hop_path_rows=[
+            np.flatnonzero(new_first_hop == index) for index in range(used.size)
+        ],
+        path_links=table.path_links[path_lo:path_hi],
+        path_loss=table.path_loss[path_lo:path_hi],
+        path_first_hop=new_first_hop,
+        path_profiles=[
+            (row - path_lo, hard, segments)
+            for row, hard, segments in table.path_profiles
+            if path_lo <= row < path_hi
+        ],
+    )
 
 
 def _apply_packed_profiles(
@@ -462,6 +518,62 @@ def _window_counts_packed(
     return folded.sum(axis=-1, dtype=np.int64)
 
 
+def path_count_groups(table: PathTable) -> list[tuple[int, np.ndarray]]:
+    """Demand rows grouped by path count (reconstruction-fold batches)."""
+    return [
+        (int(count), np.flatnonzero(table.demand_num_paths == count))
+        for count in np.unique(table.demand_num_paths)
+    ]
+
+
+def simulate_trial_block(
+    table: PathTable,
+    loss_model: LossModel,
+    chunk: int,
+    num_packets: int,
+    window: int,
+    count_groups: list[tuple[int, np.ndarray]],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One block of ``chunk`` trials over every demand of ``table``.
+
+    The integer core of the batched engine, shared with the streaming tiles:
+    returns ``(window_counts, loss_count, duplicates)`` as int64 arrays of
+    shapes ``(served, chunk, windows)``, ``(served, chunk)``, ``(served,
+    chunk)``.  Consumes randomness from ``rng`` in a fixed order (first-hop
+    draws, first-hop profiles, path draws, path profiles).
+    """
+    served = len(table.demand_keys)
+    starts = table.demand_path_starts
+    fh_packed = loss_model.sample_packed_loss_matrix(
+        table.first_hop_loss, chunk, num_packets, rng, links=table.first_hop_links
+    )
+    _apply_packed_profiles(fh_packed, table.first_hop_profiles, rng)
+    lost = loss_model.sample_packed_loss_matrix(
+        table.path_loss, chunk, num_packets, rng, links=table.path_links
+    )
+    _apply_packed_profiles(lost, table.path_profiles, rng)
+    # A path loses a packet iff either hop lost it; the shared first-hop
+    # draw is broadcast to every path served by that reflector.
+    for index, rows in enumerate(table.first_hop_path_rows):
+        lost[rows] |= fh_packed[index]
+    # Per-path received counts feed the duplicate (redundancy) statistic.
+    path_received = num_packets - _popcount(lost).sum(axis=2, dtype=np.int64)
+    # Reconstruction: a packet survives iff any copy arrived, i.e. it is
+    # lost iff every path of its demand lost it -- a bitwise-AND fold.
+    all_lost = np.empty((served, chunk, lost.shape[2]), dtype=np.uint8)
+    for count, rows in count_groups:
+        fold = lost[starts[rows]]
+        for offset in range(1, count):
+            fold &= lost[starts[rows] + offset]
+        all_lost[rows] = fold
+    window_counts = _window_counts_packed(all_lost, num_packets, window)
+    loss_count = window_counts.sum(axis=2)
+    copies = np.add.reduceat(path_received, starts, axis=0)
+    duplicates = copies - (num_packets - loss_count)
+    return window_counts, loss_count, duplicates
+
+
 def run_monte_carlo(
     problem: OverlayDesignProblem,
     solution: OverlaySolution,
@@ -498,47 +610,21 @@ def run_monte_carlo(
         )
     num_packets = config.num_packets
     served = len(table.demand_keys)
-    starts = table.demand_path_starts
     wsizes = np.diff(np.append(window_starts(num_packets, config.window), num_packets))
     # Demands grouped by path count: the reconstruction fold runs once per
     # distinct count on a fancy-indexed block instead of once per demand.
-    count_groups = [
-        (int(count), np.flatnonzero(table.demand_num_paths == count))
-        for count in np.unique(table.demand_num_paths)
-    ]
+    count_groups = path_count_groups(table)
     loss_chunks: list[np.ndarray] = []
     worst_chunks: list[np.ndarray] = []
     dup_chunks: list[np.ndarray] = []
 
     for chunk in _chunk_trials(table, config) if served else []:
-        fh_packed = config.loss_model.sample_packed_loss_matrix(
-            table.first_hop_loss, chunk, num_packets, rng, links=table.first_hop_links
+        window_counts, loss_count, duplicates = simulate_trial_block(
+            table, config.loss_model, chunk, num_packets, config.window, count_groups, rng
         )
-        _apply_packed_profiles(fh_packed, table.first_hop_profiles, rng)
-        lost = config.loss_model.sample_packed_loss_matrix(
-            table.path_loss, chunk, num_packets, rng, links=table.path_links
-        )
-        _apply_packed_profiles(lost, table.path_profiles, rng)
-        # A path loses a packet iff either hop lost it; the shared first-hop
-        # draw is broadcast to every path served by that reflector.
-        for index, rows in enumerate(table.first_hop_path_rows):
-            lost[rows] |= fh_packed[index]
-        # Per-path received counts feed the duplicate (redundancy) statistic.
-        path_received = num_packets - _popcount(lost).sum(axis=2, dtype=np.int64)
-        # Reconstruction: a packet survives iff any copy arrived, i.e. it is
-        # lost iff every path of its demand lost it -- a bitwise-AND fold.
-        all_lost = np.empty((served, chunk, lost.shape[2]), dtype=np.uint8)
-        for count, rows in count_groups:
-            fold = lost[starts[rows]]
-            for offset in range(1, count):
-                fold &= lost[starts[rows] + offset]
-            all_lost[rows] = fold
-        window_counts = _window_counts_packed(all_lost, num_packets, config.window)
-        loss_count = window_counts.sum(axis=2)
         loss_chunks.append(loss_count / num_packets)
         worst_chunks.append((window_counts / wsizes).max(axis=2))
-        copies = np.add.reduceat(path_received, starts, axis=0)
-        dup_chunks.append(copies - (num_packets - loss_count))
+        dup_chunks.append(duplicates)
 
     if served:
         loss = np.concatenate(loss_chunks, axis=1)

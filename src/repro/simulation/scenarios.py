@@ -350,3 +350,77 @@ def evaluate_design(
         )
         results[name] = {key: float(value) for key, value in summary.items()}
     return results
+
+
+def evaluate_design_streaming(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution,
+    scenarios: Iterable[str] | str | None = None,
+    *,
+    trials: int = 30,
+    num_packets: int = 2000,
+    window: int = 200,
+    seed: int = 0,
+    traces: Sequence[str] = (),
+    demand_tile: int | None = None,
+    trial_tile: int | None = None,
+    max_memory: int | None = None,
+    rebuffer_loss: float = 0.1,
+    jobs: int | str | None = 1,
+    node_isp: Mapping[str, str | None] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Memory-bounded catalogue sweep (the streaming counterpart of
+    :func:`evaluate_design`).
+
+    Per scenario, the failure draw consumes the same ``[seed, index, 0]``
+    stream as :func:`evaluate_design`, and the streaming engine's integer
+    seed derives from ``[seed, index, 1]`` -- so the sweep is reproducible
+    from ``seed`` and insensitive to scenario order/subset, and ``jobs``
+    never changes metrics.  ``traces`` adds per-window loss/rebuffering
+    metrics (flattened as ``"trace:<name>:<metric>"``) replayed through the
+    same fold.
+    """
+    from repro.simulation.streaming import StreamingConfig, run_streaming_monte_carlo
+
+    names = resolve_scenario_names(scenarios)
+    isp_map = dict(node_isp) if node_isp is not None else None
+    results: dict[str, dict[str, float]] = {}
+    for name in names:
+        index = failure_scenario_names().index(name)
+        realization = realize_scenario(
+            name,
+            problem,
+            num_packets,
+            np.random.default_rng([seed, index, 0]),
+            node_isp=isp_map,
+        )
+        engine_seed = int(
+            np.random.SeedSequence([seed, index, 1]).generate_state(1, dtype=np.uint64)[0]
+        )
+        config = StreamingConfig(
+            num_packets=num_packets,
+            trials=trials,
+            window=window,
+            loss_model=realization.loss_model,
+            failures=realization.failures,
+            seed=engine_seed,
+            demand_tile=demand_tile,
+            trial_tile=trial_tile,
+            max_memory=max_memory,
+            rebuffer_loss=rebuffer_loss,
+        )
+        report = run_streaming_monte_carlo(
+            problem, solution, config, node_isp=isp_map, traces=traces, jobs=jobs
+        )
+        summary = report.summary()
+        summary["failure_events"] = float(len(realization.failures))
+        summary["worst_demand_mean_loss"] = float(
+            report.mean_loss_per_demand.max(initial=0.0)
+        )
+        row = {key: float(value) for key, value in summary.items()}
+        for trace_name, trace_report in report.traces.items():
+            for key, value in trace_report.summary().items():
+                if isinstance(value, (int, float)):
+                    row[f"trace:{trace_name}:{key}"] = float(value)
+        results[name] = row
+    return results

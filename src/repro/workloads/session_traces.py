@@ -1,0 +1,59 @@
+"""Session traces for the internet-scale workload.
+
+The generic traces of :mod:`repro.simulation.traces` treat every demand the
+same.  Real CDN load is not like that: the evening crest rolls around the
+planet metro by metro.  ``metro-diurnal`` recovers each sink's metro from
+its name prefix (``metro0042-s17``, the same convention
+:func:`repro.simulation.scenarios.infer_clusters` and the ``"metro"``
+partitioner rely on) and offsets that metro's diurnal arrival curve by a
+metro-specific phase, spreading peak load across the simulated day the way
+timezones do.  Sinks without a metro prefix simply get phase 0, so the trace
+also works on the small synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.traces import (
+    LoadTrace,
+    SessionActivity,
+    TraceContext,
+    diurnal_intensity,
+    register_load_trace,
+    sample_sessions,
+)
+
+# Fractional golden ratio: consecutive metro indices land maximally spread
+# phases, a low-discrepancy stand-in for real timezone geography.
+_GOLDEN = 0.6180339887498949
+
+
+def _metro_phase_offsets(context: TraceContext) -> np.ndarray:
+    """Per-demand arrival offsets (in windows) from the sink's metro index."""
+    offsets = np.zeros(context.num_demands, dtype=np.int64)
+    for row, (sink, _stream) in enumerate(context.demand_keys):
+        prefix = sink.split("-", 1)[0]
+        if prefix.startswith("metro") and prefix[len("metro") :].isdigit():
+            metro = int(prefix[len("metro") :])
+            offsets[row] = int((metro * _GOLDEN % 1.0) * context.num_windows)
+    return offsets
+
+
+def _realize_metro_diurnal(context: TraceContext) -> SessionActivity:
+    intensity = diurnal_intensity(context.num_windows)
+    return sample_sessions(
+        context,
+        intensity,
+        mean_windows=context.num_windows / 6.0,
+        phase_offsets=_metro_phase_offsets(context),
+    )
+
+
+register_load_trace(
+    LoadTrace(
+        name="metro-diurnal",
+        description="diurnal curve phase-shifted per metro (timezone spread)",
+        realize=_realize_metro_diurnal,
+    )
+)

@@ -544,6 +544,102 @@ class TestSimulateMonteCarlo:
         assert "--problem and --solution" in capsys.readouterr().err
 
 
+class TestStreamingCli:
+    def test_list_traces(self, capsys):
+        assert main(["simulate", "--list-traces"]) == 0
+        output = capsys.readouterr().out
+        assert "diurnal" in output and "metro-diurnal" in output
+
+    def test_stream_run_with_traces_and_memory_bound(
+        self, problem_file, solution_file, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--stream",
+                "--packets",
+                "300",
+                "--trials",
+                "4",
+                "--window",
+                "100",
+                "--seed",
+                "1",
+                "--max-memory",
+                "64M",
+                "--trace",
+                "diurnal,metro-diurnal",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming Monte-Carlo audit" in output
+        assert "trace replay: diurnal" in output
+        assert "trace replay: metro-diurnal" in output
+
+    def test_impossible_memory_bound_is_a_clean_error(
+        self, problem_file, solution_file, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--stream",
+                "--max-memory",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "single demand row" in capsys.readouterr().err
+
+    def test_unparseable_memory_size_errors(self, problem_file, solution_file, capsys):
+        args = [
+            "simulate",
+            "--problem",
+            problem_file,
+            "--solution",
+            solution_file,
+            "--stream",
+        ]
+        assert main(args + ["--max-memory", "lots"]) == 2
+        assert "memory" in capsys.readouterr().err.lower()
+        assert main(args + ["--max-memory", "0"]) == 2
+        capsys.readouterr()
+
+    def test_trace_and_tiles_require_stream(self, problem_file, solution_file, capsys):
+        base = ["simulate", "--problem", problem_file, "--solution", solution_file]
+        assert main(base + ["--trace", "diurnal"]) == 2
+        assert "--trace requires --stream" in capsys.readouterr().err
+        assert main(base + ["--demand-tile", "8"]) == 2
+        assert "require --stream" in capsys.readouterr().err
+
+    def test_unknown_trace_lists_the_catalogue(
+        self, problem_file, solution_file, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--stream",
+                "--trace",
+                "no-such-trace",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown trace" in err and "diurnal" in err
+
+
 class TestBenchSuites:
     def test_unknown_suite_lists_tags(self, capsys):
         assert main(["bench", "--suite", "bogus", "--out", "/tmp/ignored"]) == 2
@@ -573,7 +669,8 @@ class TestBenchSuites:
     def test_scale_suite_expands_to_i1_and_t8(self):
         from repro.analysis.runner import expand_scenario_ids
 
-        assert expand_scenario_ids(["scale"]) == ["i1", "t8"]
+        assert expand_scenario_ids(["scale"]) == ["i1", "r3", "t8"]
+        assert expand_scenario_ids(["reliability"]) == ["r1", "r2", "r3"]
 
     def test_reliability_suite_smoke(self, tmp_path, capsys):
         code = main(

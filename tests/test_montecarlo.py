@@ -252,6 +252,23 @@ class TestEngineBehaviour:
         assert tiny_batches.loss_matrix.shape == a.loss_matrix.shape
         assert 0.0 <= tiny_batches.mean_loss <= 1.0
 
+    def test_chunk_boundaries_shift_the_random_stream(self, tiny_problem):
+        # Regression pinning the documented max_batch_bytes caveat: the same
+        # seed under a different chunk layout is a *different* random stream.
+        # (The streaming engine is immune -- per-tile SeedSequence streams --
+        # see tests/test_streaming.py::TestDeterminismContract.)
+        solution = OverlaySolution.from_assignments(
+            tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}
+        )
+        config = dict(num_packets=500, trials=16, window=56, seed=9)
+        one_chunk = run_monte_carlo(
+            tiny_problem, solution, MonteCarloConfig(**config, max_batch_bytes=2**40)
+        )
+        many_chunks = run_monte_carlo(
+            tiny_problem, solution, MonteCarloConfig(**config, max_batch_bytes=10_000)
+        )
+        assert not np.array_equal(one_chunk.loss_matrix, many_chunks.loss_matrix)
+
     def test_report_accessors(self, tiny_problem):
         solution = OverlaySolution.from_assignments(
             tiny_problem, {("d1", "s"): ["r1", "r2"], ("d2", "s"): ["r1"]}

@@ -112,6 +112,23 @@ class TestDerivedQuantities:
         demand = problem.demands[0]
         assert problem.candidate_reflectors(demand) == []
 
+    def test_candidate_reflectors_match_full_scan_order(self):
+        # The per-sink delivery index must reproduce exactly what a brute
+        # force scan over registration order would return, for every demand.
+        from repro.workloads import RandomInstanceConfig, random_problem
+
+        problem = random_problem(
+            RandomInstanceConfig(num_streams=3, num_reflectors=12, num_sinks=25), rng=17
+        )
+        for demand in problem.demands:
+            brute_force = [
+                reflector
+                for reflector in problem.reflectors
+                if problem.has_stream_edge(demand.stream, reflector)
+                and problem.has_delivery_link(reflector, demand.sink)
+            ]
+            assert problem.candidate_reflectors(demand) == brute_force
+
     def test_path_failure_uses_serial_rule(self, tiny_problem):
         demand = tiny_problem.demands[0]  # sink d1
         value = tiny_problem.path_failure(demand, "r1")

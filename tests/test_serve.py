@@ -28,6 +28,7 @@ from repro.serve import (
     ArtifactCache,
     DesignService,
     DesignSession,
+    ServiceOverloadedError,
     run_request_cached,
 )
 from repro.serve.cache import plan_key, request_digest
@@ -347,6 +348,103 @@ class TestDesignService:
         service = DesignService()
         with pytest.raises(RuntimeError, match="not started"):
             service.submit(DesignRequest(problem=problem, parameters=parameters))
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: bounded queue, 429 on the HTTP front
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def gated_runner(monkeypatch):
+    """Block the worker's compute behind a gate so the queue fills on cue.
+
+    Yields ``(gate, entered)``: set ``gate`` to release the worker; wait on
+    ``entered`` to know it has dequeued the first request.
+    """
+    import repro.serve.service as service_module
+
+    gate = threading.Event()
+    entered = threading.Event()
+    real = service_module.run_request_cached
+
+    def gated(request, *args, **kwargs):
+        entered.set()
+        assert gate.wait(timeout=60), "gate was never released"
+        return real(request, *args, **kwargs)
+
+    monkeypatch.setattr(service_module, "run_request_cached", gated)
+    yield gate, entered
+    gate.set()
+
+
+class TestBackpressure:
+    def test_max_queue_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            DesignService(max_queue=0)
+
+    def test_full_queue_rejects_but_dedup_joins_bypass_it(self, problem, gated_runner):
+        gate, entered = gated_runner
+        requests = [
+            DesignRequest(problem=problem, parameters=DesignParameters(seed=seed))
+            for seed in (1, 2, 3)
+        ]
+        with DesignService(workers=1, max_queue=1) as service:
+            running = service.submit(requests[0])
+            assert entered.wait(timeout=30)
+            queued = service.submit(requests[1])
+            with pytest.raises(ServiceOverloadedError, match="queue is full"):
+                service.submit(requests[2])
+            # Equal-digest submits join the in-flight line without a slot...
+            assert service.submit(requests[0]).deduplicated
+            assert service.submit(requests[1]).deduplicated
+            # ...while the rejected digest left no dead in-flight line behind:
+            # resubmitting it overloads again instead of joining a future
+            # that will never run.
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(requests[2])
+            gate.set()
+            assert running.result(timeout=120).solution is not None
+            assert queued.result(timeout=120).solution is not None
+            stats = service.stats()
+        assert stats["rejected"] == 2
+        assert stats["deduplicated"] == 2
+        assert stats["max_queue"] == 1
+        assert stats["completed"] == 2
+
+    def test_http_front_returns_429_with_retry_after(self, problem, gated_runner):
+        import urllib.error
+        import urllib.request
+
+        from repro.api import request_to_dict
+        from repro.serve import DesignServer
+
+        gate, entered = gated_runner
+        requests = [
+            DesignRequest(problem=problem, parameters=DesignParameters(seed=seed))
+            for seed in (1, 2, 3)
+        ]
+        with DesignServer(DesignService(workers=1, max_queue=1)) as server:
+            running = server.service.submit(requests[0])
+            assert entered.wait(timeout=30)
+            queued = server.service.submit(requests[1])
+            body = json.dumps(request_to_dict(requests[2])).encode()
+            post = urllib.request.Request(
+                server.url + "/design",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(post, timeout=30)
+            error = excinfo.value
+            assert error.code == 429
+            assert error.headers["Retry-After"] == "1"
+            assert "queue is full" in json.loads(error.read())["error"]
+            gate.set()
+            running.result(timeout=120)
+            queued.result(timeout=120)
+            assert server.service.stats()["rejected"] == 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,508 @@
+"""The streaming engine: determinism contract, differential and memory tests.
+
+The anchors:
+
+* **bit-identity** -- a single-tile streaming run must reproduce the batched
+  engine's statistics exactly (same kernel, same ``SeedSequence([seed, 0])``
+  stream), compared demand-by-demand on exact integer sufficient statistics;
+* **the determinism contract** -- ``jobs``, tile scheduling order, and a
+  ``max_memory`` bound that leaves the tile grid unchanged never change a
+  result; only ``(seed, packets, window, loss model, failures, grid)`` do;
+* **flat memory** -- peak traced working set must stay (near-)constant along
+  a trial ladder, the property that lets the fold audit million-demand
+  instances the batched engine cannot hold in RAM.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EvaluationSpec,
+    evaluation_spec_from_dict,
+    evaluation_spec_to_dict,
+)
+from repro.baselines import greedy_design
+from repro.core.solution import OverlaySolution
+from repro.simulation import (
+    MonteCarloConfig,
+    StreamingConfig,
+    StreamingMemoryError,
+    compile_path_table,
+    evaluate_design_streaming,
+    failure_scenario_names,
+    get_load_trace,
+    load_trace_names,
+    run_monte_carlo,
+    run_streaming_monte_carlo,
+)
+from repro.simulation.streaming import (
+    StreamingAccumulator,
+    TraceAccumulator,
+    plan_tiles,
+    resolve_tiling,
+    threshold_budget_counts,
+    window_sizes,
+    worst_window_scale,
+)
+from repro.workloads import RandomInstanceConfig, random_problem
+from repro.workloads.tiny import build_tiny_problem
+
+_ACC_FIELDS = (
+    "trial_counts",
+    "loss_sum",
+    "loss_max",
+    "meets",
+    "duplicates_sum",
+    "worst_sum",
+    "worst_max",
+    "loss_histogram",
+    "trial_loss_sum",
+)
+
+
+def _workload(seed: int = 5):
+    problem = random_problem(
+        RandomInstanceConfig(num_streams=2, num_reflectors=8, num_sinks=16), rng=seed
+    )
+    return problem, greedy_design(problem)
+
+
+def _assert_accumulators_equal(a: StreamingAccumulator, b: StreamingAccumulator) -> None:
+    for name in _ACC_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+def _batched_integer_stats(report, num_packets: int, scale: int) -> dict:
+    """Per-demand exact integer statistics recovered from the batched floats.
+
+    The batched engine's per-trial fractions are correctly-rounded divisions
+    of integer counts, so ``rint(loss * P)`` / ``rint(worst * scale)`` are
+    bit-exact inversions.
+    """
+    stats = {}
+    for demand in report.demands:
+        loss = np.rint(np.asarray(demand.loss) * num_packets).astype(np.int64)
+        worst = np.rint(np.asarray(demand.worst_window) * scale).astype(np.int64)
+        duplicates = np.asarray(demand.duplicates).astype(np.int64)
+        stats[demand.demand_key] = {
+            "loss_sum": int(loss.sum()),
+            "loss_max": int(loss.max()),
+            "worst_sum": int(worst.sum()),
+            "worst_max": int(worst.max()),
+            "duplicates_sum": int(duplicates.sum()),
+            "meets": demand.meets_threshold_fraction,
+        }
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Differential: streaming vs the in-RAM batched engine
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedDifferential:
+    def test_single_tile_is_bit_identical_to_batched(self):
+        problem, solution = _workload()
+        packets, trials, window, seed = 420, 6, 100, 11
+        config = StreamingConfig(
+            num_packets=packets,
+            trials=trials,
+            window=window,
+            seed=seed,
+            demand_tile=10**9,
+            trial_tile=10**9,
+        )
+        streaming = run_streaming_monte_carlo(problem, solution, config)
+        assert streaming.plan.num_tiles == 1
+        # One tile => one SeedSequence([seed, 0]) stream; the batched engine
+        # in one chunk (huge max_batch_bytes) consumes the same draws.
+        batched = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(
+                num_packets=packets, trials=trials, window=window, max_batch_bytes=2**40
+            ),
+            rng=np.random.default_rng(np.random.SeedSequence([seed, 0])),
+        )
+        scale = streaming.accumulator.worst_scale
+        by_key = _batched_integer_stats(batched, packets, scale)
+        assert set(by_key) == set(streaming.demand_keys)
+        for row, key in enumerate(streaming.demand_keys):
+            expected = by_key[key]
+            assert int(streaming.accumulator.loss_sum[row]) == expected["loss_sum"], key
+            assert int(streaming.accumulator.loss_max[row]) == expected["loss_max"], key
+            assert int(streaming.accumulator.worst_sum[row]) == expected["worst_sum"], key
+            assert int(streaming.accumulator.worst_max[row]) == expected["worst_max"], key
+            assert (
+                int(streaming.accumulator.duplicates_sum[row])
+                == expected["duplicates_sum"]
+            ), key
+            # count / trials on both sides: bit-equal, not approx.
+            assert float(streaming.meets_threshold_fraction[row]) == expected["meets"], key
+
+    def test_worst_window_max_matches_batched_floats(self):
+        # The scaled-integer fold must reproduce max_w(count_w / b_w) bit for
+        # bit, including the short tail window (420 = 4 x 100 + 20).
+        problem, solution = _workload()
+        config = StreamingConfig(
+            num_packets=420, trials=4, window=100, seed=3, demand_tile=10**9, trial_tile=10**9
+        )
+        streaming = run_streaming_monte_carlo(problem, solution, config)
+        batched = run_monte_carlo(
+            problem,
+            solution,
+            MonteCarloConfig(num_packets=420, trials=4, window=100, max_batch_bytes=2**40),
+            rng=np.random.default_rng(np.random.SeedSequence([3, 0])),
+        )
+        by_key = {d.demand_key: d for d in batched.demands}
+        for row, key in enumerate(streaming.demand_keys):
+            expected = float(np.asarray(by_key[key].worst_window).max())
+            assert float(streaming.worst_window_max[row]) == expected
+
+
+# ---------------------------------------------------------------------------
+# The determinism contract
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismContract:
+    def test_repeat_runs_are_identical(self):
+        problem, solution = _workload()
+        config = StreamingConfig(
+            num_packets=200, trials=5, window=64, seed=9, demand_tile=3, trial_tile=2
+        )
+        first = run_streaming_monte_carlo(problem, solution, config)
+        second = run_streaming_monte_carlo(problem, solution, config)
+        assert first.plan == second.plan
+        _assert_accumulators_equal(first.accumulator, second.accumulator)
+
+    def test_jobs_never_change_results(self):
+        problem, solution = _workload()
+        config = StreamingConfig(
+            num_packets=200, trials=4, window=64, seed=7, demand_tile=4, trial_tile=2
+        )
+        serial = run_streaming_monte_carlo(problem, solution, config, traces=("diurnal",))
+        parallel = run_streaming_monte_carlo(
+            problem, solution, config, traces=("diurnal",), jobs=2
+        )
+        assert serial.plan.num_tiles > 1
+        _assert_accumulators_equal(serial.accumulator, parallel.accumulator)
+        for name in ("active_cells", "lost_packets", "rebuffer_cells"):
+            assert np.array_equal(
+                getattr(serial.traces["diurnal"].accumulator, name),
+                getattr(parallel.traces["diurnal"].accumulator, name),
+            )
+
+    def test_max_memory_with_unchanged_grid_changes_nothing(self):
+        problem, solution = _workload()
+        base = StreamingConfig(
+            num_packets=200, trials=4, window=64, seed=7, demand_tile=4, trial_tile=2
+        )
+        bounded = StreamingConfig(
+            num_packets=200,
+            trials=4,
+            window=64,
+            seed=7,
+            demand_tile=4,
+            trial_tile=2,
+            max_memory=2**40,
+        )
+        table = compile_path_table(
+            problem, solution, base.failures, base.num_packets, None
+        )
+        assert resolve_tiling(table, base) == resolve_tiling(table, bounded)
+        _assert_accumulators_equal(
+            run_streaming_monte_carlo(problem, solution, base).accumulator,
+            run_streaming_monte_carlo(problem, solution, bounded).accumulator,
+        )
+
+    def test_extending_trials_preserves_the_prefix(self):
+        # Appending trial tiles must not disturb earlier tiles' streams: the
+        # first 4 trials of an 8-trial run equal the 4-trial run exactly.
+        problem, solution = _workload()
+
+        def run(trials):
+            return run_streaming_monte_carlo(
+                problem,
+                solution,
+                StreamingConfig(
+                    num_packets=200,
+                    trials=trials,
+                    window=64,
+                    seed=13,
+                    demand_tile=10**9,
+                    trial_tile=4,
+                ),
+            )
+
+        short, long = run(4), run(8)
+        assert np.array_equal(
+            short.accumulator.trial_loss_sum, long.accumulator.trial_loss_sum[:4]
+        )
+
+    def test_trace_activity_is_grid_independent(self):
+        # Session windows come from their own SeedSequence stream, realized
+        # once per run -- so active-session counts cannot depend on the grid.
+        problem, solution = _workload()
+
+        def active_cells(demand_tile, trial_tile):
+            report = run_streaming_monte_carlo(
+                problem,
+                solution,
+                StreamingConfig(
+                    num_packets=200,
+                    trials=4,
+                    window=64,
+                    seed=21,
+                    demand_tile=demand_tile,
+                    trial_tile=trial_tile,
+                ),
+                traces=("metro-diurnal",),
+            )
+            return report.traces["metro-diurnal"].accumulator.active_cells
+
+        assert np.array_equal(active_cells(10**9, 10**9), active_cells(3, 2))
+
+
+# ---------------------------------------------------------------------------
+# Tiling and the memory bound
+# ---------------------------------------------------------------------------
+
+
+class TestTiling:
+    def test_plan_partitions_the_plane(self):
+        problem, solution = _workload()
+        config = StreamingConfig(num_packets=200, trials=7, window=64, demand_tile=3, trial_tile=2)
+        table = compile_path_table(problem, solution, config.failures, 200, None)
+        plan = plan_tiles(table, config)
+        served = len(table.demand_keys)
+        covered = [d for d0, d1 in plan.demand_ranges for d in range(d0, d1)]
+        assert covered == list(range(served))
+        assert sum(chunk for _, chunk in plan.trial_offsets) == config.trials
+        assert plan.num_tiles == len(plan.demand_ranges) * len(plan.trial_offsets)
+
+    def test_max_memory_shrinks_trial_tile_first(self):
+        problem, solution = _workload()
+        config = StreamingConfig(num_packets=400, trials=32, window=100)
+        table = compile_path_table(problem, solution, config.failures, 400, None)
+        free_demand, free_trial = resolve_tiling(table, config)
+        # Tighten until the grid changes; the demand tile must be the last
+        # thing to give.
+        grids = []
+        for exponent in range(30, 9, -1):
+            bounded = StreamingConfig(
+                num_packets=400, trials=32, window=100, max_memory=2**exponent
+            )
+            try:
+                demand_tile, trial_tile = resolve_tiling(table, bounded)
+            except StreamingMemoryError:
+                break
+            grids.append((bounded, (demand_tile, trial_tile)))
+            assert demand_tile <= free_demand and trial_tile <= free_trial
+            if demand_tile < free_demand:
+                assert trial_tile == 1
+        assert any(grid != (free_demand, free_trial) for _, grid in grids)
+        # Determinism: the same bound always resolves the same grid.
+        tightest, grid = grids[-1]
+        assert resolve_tiling(table, tightest) == grid
+
+    def test_impossible_bound_raises_streaming_memory_error(self):
+        problem, solution = _workload()
+        config = StreamingConfig(num_packets=400, trials=4, window=100, max_memory=1)
+        with pytest.raises(StreamingMemoryError, match="single demand row"):
+            run_streaming_monte_carlo(problem, solution, config)
+
+    def test_peak_memory_is_flat_along_a_trial_ladder(self):
+        # Satellite regression: peak traced allocation must not grow with the
+        # trial count (the batched engine's would grow linearly).
+        problem = random_problem(
+            RandomInstanceConfig(num_streams=2, num_reflectors=10, num_sinks=250), rng=7
+        )
+        solution = greedy_design(problem)
+        table = compile_path_table(problem, solution, StreamingConfig().failures, 240, None)
+        peaks = {}
+        for trials in (4, 16, 48):
+            config = StreamingConfig(
+                num_packets=240,
+                trials=trials,
+                window=80,
+                seed=1,
+                demand_tile=64,
+                trial_tile=4,
+            )
+            tracemalloc.start()
+            try:
+                report = run_streaming_monte_carlo(problem, solution, config, table=table)
+                _, peaks[trials] = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            assert report.trials == trials
+        assert max(peaks.values()) <= 64 * 2**20
+        assert max(peaks.values()) / min(peaks.values()) <= 2.0, peaks
+
+
+# ---------------------------------------------------------------------------
+# Accumulator algebra
+# ---------------------------------------------------------------------------
+
+
+def _filled_accumulator(seed: int) -> StreamingAccumulator:
+    rng = np.random.default_rng(seed)
+    acc = StreamingAccumulator.zeros(5, 6, 100, 50, 8)
+    for name in _ACC_FIELDS:
+        array = getattr(acc, name)
+        array[:] = rng.integers(0, 1000, array.shape)
+    return acc
+
+
+class TestAccumulatorAlgebra:
+    def test_merge_is_commutative(self):
+        ab = _filled_accumulator(1).merge(_filled_accumulator(2))
+        ba = _filled_accumulator(2).merge(_filled_accumulator(1))
+        _assert_accumulators_equal(ab, ba)
+
+    def test_merge_is_associative(self):
+        left = _filled_accumulator(1).merge(_filled_accumulator(2)).merge(_filled_accumulator(3))
+        right = _filled_accumulator(1).merge(
+            _filled_accumulator(2).merge(_filled_accumulator(3))
+        )
+        _assert_accumulators_equal(left, right)
+
+    def test_incompatible_merge_is_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            StreamingAccumulator.zeros(5, 6, 100, 50, 8).merge(
+                StreamingAccumulator.zeros(5, 6, 100, 50, 16)
+            )
+        with pytest.raises(ValueError, match="different traces"):
+            TraceAccumulator.zeros("a", 4).merge(TraceAccumulator.zeros("b", 4))
+
+    def test_threshold_budget_counts_match_float_semantics(self):
+        num_packets = 417
+        thresholds = np.asarray([0.0, 0.5, 0.9, 0.99, 0.999, 1.0])
+        budget = (1.0 - thresholds) + 1e-12
+        counts = threshold_budget_counts(thresholds, num_packets)
+        for budget_value, count in zip(budget, counts):
+            assert count / num_packets <= budget_value
+            if count < num_packets:
+                assert (count + 1) / num_packets > budget_value
+
+    def test_worst_window_scale_covers_the_tail(self):
+        sizes = window_sizes(420, 100)
+        assert sizes.tolist() == [100, 100, 100, 100, 20]
+        scale, weights = worst_window_scale(420, 100)
+        assert scale % 100 == 0 and scale % 20 == 0
+        assert np.array_equal(weights * sizes, np.full(5, scale))
+
+
+# ---------------------------------------------------------------------------
+# Unserved demands and trace replay
+# ---------------------------------------------------------------------------
+
+
+class TestUnservedAndTraces:
+    def test_unserved_demand_counts_as_total_loss(self):
+        problem = build_tiny_problem()
+        solution = OverlaySolution.from_assignments(problem, {("d1", "s"): ["r1"]})
+        report = run_streaming_monte_carlo(
+            problem,
+            solution,
+            StreamingConfig(num_packets=200, trials=3, window=64, seed=0),
+            traces=("diurnal",),
+        )
+        row = report.demand_index(("d2", "s"))
+        assert float(report.mean_loss_per_demand[row]) == 1.0
+        assert float(report.max_loss_per_demand[row]) == 1.0
+        assert float(report.worst_window_max[row]) == 1.0
+        assert float(report.meets_threshold_fraction[row]) == 0.0
+        assert int(report.paths[row]) == 0
+        # The analytic unserved fold reaches the trace too: its sessions are
+        # always rebuffering while active.
+        trace = report.traces["diurnal"]
+        assert trace.rebuffer_session_fraction >= 1.0 / report.num_demands
+
+    def test_trace_replay_reports_per_window_metrics(self):
+        problem, solution = _workload()
+        report = run_streaming_monte_carlo(
+            problem,
+            solution,
+            StreamingConfig(num_packets=420, trials=4, window=100, seed=2),
+            traces=("diurnal", "metro-diurnal"),
+        )
+        assert set(report.traces) == {"diurnal", "metro-diurnal"}
+        for trace in report.traces.values():
+            assert trace.num_windows == 5
+            rows = trace.rows()
+            assert len(rows) == trace.num_windows
+            summary = trace.summary()
+            assert summary["peak_active_sessions"] > 0
+            assert np.all(trace.active_sessions <= report.num_demands)
+            assert np.all((trace.window_loss_rate >= 0) & (trace.window_loss_rate <= 1))
+            assert np.all((trace.rebuffer_fraction >= 0) & (trace.rebuffer_fraction <= 1))
+            assert 0.0 <= trace.rebuffer_session_fraction <= 1.0
+        # Different traces realize different load curves.
+        assert not np.array_equal(
+            report.traces["diurnal"].accumulator.active_cells,
+            report.traces["metro-diurnal"].accumulator.active_cells,
+        )
+
+    def test_trace_catalogue_and_unknown_names(self):
+        names = load_trace_names()
+        assert {"diurnal", "flash-crowd", "metro-diurnal"} <= set(names)
+        assert get_load_trace("diurnal").name == "diurnal"
+        with pytest.raises(KeyError):
+            get_load_trace("no-such-trace")
+
+
+# ---------------------------------------------------------------------------
+# Catalogue sweep + EvaluationSpec plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingEvaluation:
+    def test_sweep_is_subset_insensitive_and_carries_trace_metrics(self):
+        problem, solution = _workload()
+        names = failure_scenario_names()[:2]
+        kwargs = dict(trials=2, num_packets=200, window=64, seed=4, traces=("diurnal",))
+        both = evaluate_design_streaming(problem, solution, names, **kwargs)
+        alone = evaluate_design_streaming(problem, solution, [names[1]], **kwargs)
+        assert both[names[1]] == alone[names[1]]
+        row = both[names[0]]
+        assert 0.0 <= row["mean_loss"] <= 1.0
+        assert "trace:diurnal:peak_window_loss" in row
+        assert "trace:diurnal:rebuffer_session_fraction" in row
+
+    def test_spec_roundtrip_preserves_streaming_fields(self):
+        spec = EvaluationSpec(
+            scenarios=("baseline",),
+            trials=5,
+            mode="streaming",
+            traces=("diurnal", "metro-diurnal"),
+            max_memory=1 << 20,
+        )
+        assert evaluation_spec_from_dict(evaluation_spec_to_dict(spec)) == spec
+
+    def test_batched_spec_dict_is_byte_stable(self):
+        # Streaming fields are additive: a batched spec's document must not
+        # grow new keys (old documents stay byte-identical across builds).
+        data = evaluation_spec_to_dict(EvaluationSpec())
+        assert set(data) == {"scenarios", "trials", "num_packets", "window", "seed"}
+        legacy = evaluation_spec_from_dict(dict(data))
+        assert legacy.mode == "batched"
+        assert legacy.traces == ()
+        assert legacy.max_memory is None
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            EvaluationSpec(mode="tiled")
+        with pytest.raises(ValueError, match="traces require"):
+            EvaluationSpec(traces=("diurnal",))
+        with pytest.raises(ValueError, match="max_memory"):
+            EvaluationSpec(mode="streaming", max_memory=0)
+        with pytest.raises(ValueError, match="rebuffer_loss"):
+            StreamingConfig(rebuffer_loss=0.0)
+        with pytest.raises(ValueError, match="trial_tile"):
+            StreamingConfig(trial_tile=0)
