@@ -1,4 +1,4 @@
-"""The standard designer catalogue: paper algorithm, extension, six baselines.
+"""The standard designer catalogue: paper algorithm, extension, seven baselines.
 
 Importing this module registers every built-in strategy with
 :mod:`repro.api.registry`:
@@ -11,6 +11,7 @@ Importing this module registers every built-in strategy with
 ``single-tree``           one reflector per demand, IP-multicast-like (baseline)
 ``random``                random feasible-ish assignment (baseline)
 ``exact``                 brute-force optimum for tiny instances (baseline)
+``milp-exact``            exact Section-2 IP via a MILP backend (baseline)
 ``lp-bound``              fractional LP optimum, bound only (baseline)
 ========================  ===================================================
 
@@ -25,12 +26,15 @@ from __future__ import annotations
 import time
 from typing import Mapping
 
+import numpy as np
+
 from repro.analysis.audit import audit_solution
 from repro.api.pipeline import DesignPipeline, PipelineContext
 from repro.api.registry import register_designer
 from repro.api.types import DesignRequest, DesignResult
 from repro.baselines.exact import _exact_design_impl
 from repro.baselines.greedy import _greedy_design_impl
+from repro.baselines.milp import milp_exact_design
 from repro.baselines.naive import _naive_quality_first_design_impl
 from repro.baselines.random_design import _random_design_impl
 from repro.baselines.single_tree import _single_tree_design_impl
@@ -51,6 +55,7 @@ def _strategy_options(request: DesignRequest, **defaults) -> dict:
 
 def _pipeline_result(request: DesignRequest, context: PipelineContext) -> DesignResult:
     metadata = {
+        **context.metadata,
         "multiplier": context.rounded.multiplier,
         "rounding_attempts": context.rounding_attempts,
     }
@@ -98,8 +103,12 @@ def _baseline_result(
     in_comparisons=False,
 )
 def _run_spaa03(request: DesignRequest) -> DesignResult:
-    _strategy_options(request)  # no options; everything lives in parameters
-    context = DesignPipeline.standard().run(request.problem, request.parameters)
+    # warm_start is advisory (see repro.lp.SolveOptions): honored only by
+    # backends with MIP starts, so default results never change.
+    options = _strategy_options(request, warm_start=None)
+    context = DesignPipeline.standard().run(
+        request.problem, request.parameters, warm_start=options["warm_start"]
+    )
     return _pipeline_result(request, context)
 
 
@@ -109,8 +118,10 @@ def _run_spaa03(request: DesignRequest) -> DesignResult:
     in_comparisons=False,
 )
 def _run_spaa03_extended(request: DesignRequest) -> DesignResult:
-    _strategy_options(request)
-    context = DesignPipeline.extended().run(request.problem, request.parameters)
+    options = _strategy_options(request, warm_start=None)
+    context = DesignPipeline.extended().run(
+        request.problem, request.parameters, warm_start=options["warm_start"]
+    )
     return _pipeline_result(request, context)
 
 
@@ -195,6 +206,57 @@ def _run_exact(request: DesignRequest) -> DesignResult:
 
 
 @register_designer(
+    "milp-exact",
+    description="exact Section-2 IP via a MILP backend (scales past brute force)",
+    baseline=True,
+    in_comparisons=False,
+)
+def _run_milp_exact(request: DesignRequest) -> DesignResult:
+    options = _strategy_options(
+        request,
+        time_limit=None,
+        mip_gap=None,
+        symmetry_breaking=True,
+        warm_start=None,
+    )
+    if options["warm_start"] is not None:
+        # Warm starts arrive as plain lists when the request came over JSON.
+        options["warm_start"] = np.asarray(options["warm_start"], dtype=float)
+    backend = request.parameters.solver_backend
+    if backend == "highs":
+        # The design-parameter default is the LP backend; an integer solve
+        # needs a MIP-capable one unless the caller explicitly picked.
+        backend = "highs-mip"
+    start = time.perf_counter()
+    result = milp_exact_design(
+        request.problem,
+        extensions=request.parameters.extensions,
+        backend=backend,
+        **options,
+    )
+    elapsed = time.perf_counter() - start
+    design_result = _baseline_result(
+        request,
+        result.solution,
+        elapsed,
+        metadata={
+            "optimal_cost": result.optimal_cost,
+            "milp_status": result.status,
+            "mip_gap": result.mip_gap,
+            "mip_dual_bound": result.mip_dual_bound,
+            "node_count": result.node_count,
+            "symmetry_rows": result.symmetry_rows,
+            "symmetry_classes": result.symmetry_classes,
+            "solver_backend": result.backend,
+            "time_limit": options["time_limit"],
+            "mip_gap_limit": options["mip_gap"],
+        },
+    )
+    design_result.lower_bound = result.mip_dual_bound
+    return design_result
+
+
+@register_designer(
     "lp-bound",
     description="fractional LP optimum (cost lower bound, no integral design)",
     baseline=True,
@@ -208,6 +270,7 @@ def _run_lp_bound(request: DesignRequest) -> DesignResult:
         request.problem,
         request.parameters.extensions,
         lp_backend=request.parameters.lp_backend,
+        solver_backend=request.parameters.solver_backend,
     )
     elapsed = time.perf_counter() - start
     solution = OverlaySolution.from_assignments(

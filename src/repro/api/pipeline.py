@@ -59,6 +59,7 @@ from repro.core.rounding import (
     round_solution_with_retries,
 )
 from repro.core.solution import OverlaySolution
+from repro.lp import SolveOptions
 
 
 @dataclass
@@ -73,6 +74,10 @@ class PipelineContext:
     problem: OverlayDesignProblem
     parameters: DesignParameters
     rng: np.random.Generator
+    #: optional warm-start vector for the LP solve (advisory; see
+    #: :class:`repro.lp.SolveOptions` -- only backends that support MIP
+    #: starts honor it, so the default backend's results never change).
+    warm_start: np.ndarray | None = None
     formulation: object | None = None
     lp_solution: object | None = None
     fractional: FractionalSolution | None = None
@@ -255,7 +260,14 @@ class SolveStage(PipelineStage):
                 context.stage_seconds["solve_lp"] = time.perf_counter() - start
                 return
             context.metadata["cache_solve"] = "miss"
-        context.lp_solution = context.formulation.solve()
+        parameters = context.parameters
+        options = None
+        if context.warm_start is not None:
+            options = SolveOptions(warm_start=context.warm_start)
+        context.lp_solution = context.formulation.solve(
+            parameters.solver_backend, options=options
+        )
+        context.metadata["solver_backend"] = parameters.solver_backend
         context.stage_seconds["solve_lp"] = time.perf_counter() - start
         context.fractional = context.formulation.fractional_solution(
             context.lp_solution
@@ -461,18 +473,23 @@ class DesignPipeline:
         problem: OverlayDesignProblem,
         parameters: DesignParameters | None = None,
         rng: np.random.Generator | None = None,
+        warm_start: np.ndarray | None = None,
     ) -> PipelineContext:
         """Run every stage over ``problem`` and return the filled context.
 
         Matches the classic drivers exactly: the RNG defaults to
         ``np.random.default_rng(parameters.rounding.seed)`` and each stage
         consumes it in the same order, so solutions are bit-identical to the
-        pre-pipeline ``design_overlay`` for a fixed seed.
+        pre-pipeline ``design_overlay`` for a fixed seed.  ``warm_start``
+        seeds the LP solve on backends that honor starts (advisory;
+        never changes results on the default backend).
         """
         parameters = parameters or DesignParameters()
         if rng is None:
             rng = np.random.default_rng(parameters.rounding.seed)
-        context = PipelineContext(problem=problem, parameters=parameters, rng=rng)
+        context = PipelineContext(
+            problem=problem, parameters=parameters, rng=rng, warm_start=warm_start
+        )
         for stage in self.stages:
             stage.run(context)
             for hook in self.hooks:

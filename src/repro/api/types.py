@@ -290,6 +290,7 @@ def parameters_to_dict(parameters: DesignParameters) -> dict[str, Any]:
         "repair_shortfall": parameters.repair_shortfall,
         "repair_fanout_slack": parameters.repair_fanout_slack,
         "lp_backend": parameters.lp_backend,
+        "solver_backend": parameters.solver_backend,
     }
 
 
@@ -316,6 +317,7 @@ def parameters_from_dict(data: dict[str, Any]) -> DesignParameters:
         repair_shortfall=data.get("repair_shortfall", False),
         repair_fanout_slack=data.get("repair_fanout_slack", 4.0),
         lp_backend=data.get("lp_backend", "sparse"),
+        solver_backend=data.get("solver_backend", "highs"),
     )
 
 

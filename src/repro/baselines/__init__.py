@@ -17,11 +17,15 @@ produces the same :class:`~repro.core.solution.OverlaySolution` type:
 * :mod:`repro.baselines.single_tree` -- one reflector per stream, no
   redundancy (an IP-multicast-like tree, Section 1.4's alternative);
 * :mod:`repro.baselines.lp_bound` -- the fractional LP optimum, the lower
-  bound every cost ratio is measured against.
+  bound every cost ratio is measured against;
+* :mod:`repro.baselines.milp` -- the Section-2 IP solved exactly through a
+  registered MILP backend (scales far past the brute-force search; see
+  ``docs/solvers.md``).
 
 Every baseline is registered with the unified strategy registry
 (:mod:`repro.api`) under a stable name (``"greedy"``, ``"naive-quality-first"``,
-``"single-tree"``, ``"random"``, ``"exact"``, ``"lp-bound"``); the functions
+``"single-tree"``, ``"random"``, ``"exact"``, ``"milp-exact"``,
+``"lp-bound"``); the functions
 exported here are thin compatibility wrappers that delegate to the registered
 designers and return identical results.  New code should prefer
 ``repro.api.get_designer(name).design(request)`` -- see ``docs/api.md``.
@@ -30,16 +34,19 @@ designers and return identical results.  New code should prefer
 from repro.baselines.exact import ExactResult, SearchSpaceTooLarge, exact_design
 from repro.baselines.greedy import greedy_design
 from repro.baselines.lp_bound import lp_lower_bound
+from repro.baselines.milp import MILPResult, milp_exact_design
 from repro.baselines.naive import naive_quality_first_design
 from repro.baselines.random_design import random_design
 from repro.baselines.single_tree import single_tree_design
 
 __all__ = [
     "ExactResult",
+    "MILPResult",
     "SearchSpaceTooLarge",
     "exact_design",
     "greedy_design",
     "lp_lower_bound",
+    "milp_exact_design",
     "naive_quality_first_design",
     "random_design",
     "single_tree_design",

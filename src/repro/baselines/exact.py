@@ -45,10 +45,13 @@ def _feasible_subsets(
 ) -> list[tuple[str, ...]]:
     """Candidate-reflector subsets meeting the demand's weight requirement."""
     required = problem.demand_weight(demand)
-    candidates = problem.candidate_reflectors(demand)
+    # Dedup before enumerating: duplicate candidate entries (duplicate
+    # registered delivery edges) would otherwise enumerate the same subset
+    # repeatedly and inflate nodes_explored.
+    candidates = sorted(set(problem.candidate_reflectors(demand)))
     subsets: list[tuple[str, ...]] = []
     for size in range(1, min(max_subset_size, len(candidates)) + 1):
-        for subset in combinations(sorted(candidates), size):
+        for subset in combinations(candidates, size):
             weight = sum(problem.edge_weight(demand, r) for r in subset)
             if weight + _EPS >= required:
                 # Skip supersets of an already-feasible subset of smaller size:

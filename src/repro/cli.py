@@ -135,8 +135,17 @@ def _list_strategies() -> int:
 def _cmd_design(args: argparse.Namespace) -> int:
     if args.list_strategies:
         return _list_strategies()
+    if args.list_backends:
+        return _list_backends()
     if not args.problem:
-        print("error: --problem is required (unless --list-strategies)", file=sys.stderr)
+        print(
+            "error: --problem is required (unless --list-strategies/--list-backends)",
+            file=sys.stderr,
+        )
+        return 2
+    backend_error = _check_solver_backend(args.solver_backend)
+    if backend_error:
+        print(f"error: {backend_error}", file=sys.stderr)
         return 2
     problem = load_problem(args.problem)
     issues = problem.feasibility_report()
@@ -204,11 +213,30 @@ def _cmd_design(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # --time-limit / --mip-gap only mean something to the MILP designer;
+    # mirror the sharded-flag guard so they never silently no-op.
+    milp_flags = [
+        flag
+        for flag, given in (
+            ("--time-limit", args.time_limit is not None),
+            ("--mip-gap", args.mip_gap is not None),
+        )
+        if given
+    ]
+    if guard_designer.name != "milp-exact" and milp_flags:
+        print(
+            f"error: strategy {strategy!r} ignores {', '.join(milp_flags)} "
+            "(MILP-only flags); use --strategy milp-exact to solve the "
+            "integer program exactly",
+            file=sys.stderr,
+        )
+        return 2
     parameters = DesignParameters(
         rounding=RoundingParameters(
             c=args.multiplier if args.multiplier is not None else 8.0, seed=args.seed
         ),
         repair_shortfall=args.repair,
+        solver_backend=args.solver_backend if args.solver_backend else "highs",
         seed=args.seed,
     )
     if args.isp_diversity:
@@ -221,12 +249,21 @@ def _cmd_design(args: argparse.Namespace) -> int:
         )
         return 2
     options = {}
+    milp_options = {}
+    if args.time_limit is not None:
+        milp_options["time_limit"] = args.time_limit
+    if args.mip_gap is not None:
+        milp_options["mip_gap"] = args.mip_gap
     if sharded:
         options = {
             "shards": args.shards if args.shards is not None else "auto",
             "jobs": args.jobs if args.jobs is not None else 1,
             "partitioner": args.partitioner if args.partitioner is not None else "auto",
         }
+        if milp_options:
+            options["inner_options"] = milp_options
+    else:
+        options.update(milp_options)
     try:
         result = designer.design(
             DesignRequest(
@@ -281,6 +318,10 @@ def _cmd_update(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    backend_error = _check_solver_backend(args.solver_backend)
+    if backend_error:
+        print(f"error: {backend_error}", file=sys.stderr)
+        return 2
     try:
         jobs = resolve_jobs(args.jobs)
     except ValueError as error:
@@ -306,7 +347,10 @@ def _cmd_update(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    parameters = DesignParameters(seed=args.seed)
+    parameters = DesignParameters(
+        solver_backend=args.solver_backend if args.solver_backend else "highs",
+        seed=args.seed,
+    )
     try:
         result = design_incremental(
             solution,
@@ -1016,6 +1060,51 @@ def _out_parent(
     return parent
 
 
+def _solver_backend_parent() -> argparse.ArgumentParser:
+    """Shared ``--solver-backend`` flag (validated against the registry)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--solver-backend",
+        default=None,
+        help="registered solver backend for the LP/MILP solve (see "
+        "--list-backends; default: highs)",
+    )
+    return parent
+
+
+def _check_solver_backend(name: str | None) -> str | None:
+    """Return an error message when ``name`` is unknown or unavailable.
+
+    Mirrors the sharded-flag guard: usage errors exit 2 with a message that
+    names the *installed* backends, so a missing optional library (gurobipy)
+    reads the same as a typo.
+    """
+    from repro.lp import available_backend_names
+
+    if name is None or name in available_backend_names():
+        return None
+    installed = ", ".join(available_backend_names())
+    return (
+        f"unknown or unavailable solver backend {name!r} "
+        f"(installed backends: {installed})"
+    )
+
+
+def _list_backends() -> int:
+    from repro.lp import registered_backends
+
+    rows = [
+        {
+            "backend": backend.name,
+            "available": backend.available(),
+            "description": backend.description,
+        }
+        for backend in registered_backends()
+    ]
+    print(format_table(rows, title="registered solver backends"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1059,6 +1148,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "(sharded:<strategy> only; default: 1)",
             ),
             _out_parent("output solution JSON path"),
+            _solver_backend_parent(),
         ],
     )
     design.add_argument("--problem", help="problem JSON path (required unless --list-strategies)")
@@ -1085,9 +1175,26 @@ def build_parser() -> argparse.ArgumentParser:
         "default: auto)",
     )
     design.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="MILP wall-clock limit in seconds (milp-exact only)",
+    )
+    design.add_argument(
+        "--mip-gap",
+        type=float,
+        default=None,
+        help="relative MIP gap at which the solver may stop (milp-exact only)",
+    )
+    design.add_argument(
         "--list-strategies",
         action="store_true",
         help="list the registered design strategies and exit",
+    )
+    design.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered solver backends and exit",
     )
     design.set_defaults(func=_cmd_design)
 
@@ -1111,6 +1218,7 @@ def build_parser() -> argparse.ArgumentParser:
             ),
             _jobs_parent(),
             _out_parent("output solution JSON path"),
+            _solver_backend_parent(),
         ],
     )
     update.add_argument("--problem", required=True, help="pre-churn problem JSON path")

@@ -83,6 +83,11 @@ class DesignParameters:
         the expression-tree modeling layer.  Both produce the same relaxation
         and objective; sparse is ~an order of magnitude faster to build on
         large instances.
+    solver_backend:
+        Which registered solver backend (:mod:`repro.lp.backends`) solves the
+        LP relaxation: ``"highs"`` (default), ``"highs-mip"``, or
+        ``"gurobi"``.  Validated against the backend registry; unknown names
+        raise ``ValueError`` listing the installed backends.
     seed:
         Convenience override for ``rounding.seed``.
     """
@@ -95,12 +100,20 @@ class DesignParameters:
     repair_shortfall: bool = False
     repair_fanout_slack: float = 4.0
     lp_backend: str = "sparse"
+    solver_backend: str = "highs"
     seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.lp_backend not in ("sparse", "expr"):
             raise ValueError(
                 f"lp_backend must be 'sparse' or 'expr', got {self.lp_backend!r}"
+            )
+        from repro.lp.backends import backend_names
+
+        if self.solver_backend not in backend_names():
+            raise ValueError(
+                f"solver_backend must be one of {backend_names()}, "
+                f"got {self.solver_backend!r}"
             )
         if self.seed is not None:
             self.rounding = RoundingParameters(
@@ -277,6 +290,7 @@ def fractional_lower_bound(
     problem: OverlayDesignProblem,
     extensions: ExtensionOptions | None = None,
     lp_backend: str = "sparse",
+    solver_backend: str = "highs",
 ) -> float:
     """Solve only the LP relaxation and return its objective (the OPT lower bound)."""
     if lp_backend not in ("sparse", "expr"):
@@ -287,7 +301,7 @@ def fractional_lower_bound(
         )
     else:
         formulation = build_formulation(problem, extensions)
-    lp_solution = formulation.solve()
+    lp_solution = formulation.solve(solver_backend)
     return formulation.fractional_solution(lp_solution).objective
 
 

@@ -103,6 +103,7 @@ def color_constrained_parameters(
         repair_shortfall=base.repair_shortfall,
         repair_fanout_slack=base.repair_fanout_slack,
         lp_backend=base.lp_backend,
+        solver_backend=base.solver_backend,
     )
 
 

@@ -60,6 +60,7 @@ from repro.lp import (
     LPSolution,
     Objective,
     Sense,
+    SolveOptions,
     SparseLPBuilder,
     Variable,
     solve_compiled,
@@ -113,9 +114,11 @@ class OverlayFormulation:
     options: ExtensionOptions = field(default_factory=ExtensionOptions)
 
     # ------------------------------------------------------------------ solve
-    def solve(self) -> LPSolution:
+    def solve(
+        self, backend: str = "highs", *, options: SolveOptions | None = None
+    ) -> LPSolution:
         """Solve the LP relaxation (Section 2, relaxed constraint (6))."""
-        return solve_lp(self.model)
+        return solve_lp(self.model, backend, options=options)
 
     def fractional_solution(self, lp_solution: LPSolution) -> FractionalSolution:
         """Extract ``(z_hat, y_hat, x_hat)`` from a solved LP."""
@@ -342,9 +345,11 @@ class SparseOverlayFormulation:
     options: ExtensionOptions = field(default_factory=ExtensionOptions)
 
     # ------------------------------------------------------------------ solve
-    def solve(self) -> LPSolution:
+    def solve(
+        self, backend: str = "highs", *, options: SolveOptions | None = None
+    ) -> LPSolution:
         """Solve the LP relaxation (Section 2, relaxed constraint (6))."""
-        return solve_compiled(self.compiled)
+        return solve_compiled(self.compiled, backend, options=options, stats=self.stats)
 
     def fractional_solution(self, lp_solution: LPSolution) -> FractionalSolution:
         """Extract ``(z_hat, y_hat, x_hat)`` from a solved LP."""

@@ -18,7 +18,11 @@ Two build paths share one solver backend:
   operations instead of millions of dict updates).
 
 Both compile to the same :class:`~repro.lp.model.CompiledLP` structure and
-are solved by :func:`solve_compiled`.
+are solved by :func:`solve_compiled`, which dispatches to a *registered
+solver backend* (:mod:`repro.lp.backends`): ``"highs"`` (scipy ``linprog``,
+the LP default), ``"highs-mip"`` (scipy ``milp``, exact MILP), and an
+optional ``"gurobi"`` backend that is gracefully absent unless ``gurobipy``
+is installed.
 
 Public API
 ----------
@@ -33,8 +37,25 @@ Public API
 ``solve_compiled``   -- solve an already-compiled matrix-form LP.
 ``LPSolution``       -- status, objective value, per-variable values.
 ``LPStatus``         -- enum of solver outcomes.
+``SolverBackend``    -- backend protocol (``name`` + ``solve``).
+``SolveOptions``     -- backend-independent options (integrality, limits).
+``SolverError``      -- typed solver failure (unknown backend, bad status).
+``register_backend`` -- decorator adding a backend to the registry.
+``get_backend``      -- resolve a backend by name.
+``backend_names``    -- all registered backend names.
+``available_backend_names`` -- names whose solver library is importable.
 """
 
+from repro.lp.backends import (
+    SolveOptions,
+    SolverBackend,
+    SolverError,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
 from repro.lp.expr import Constraint, LinearExpr, Sense, Variable
 from repro.lp.model import CompiledLP, LinearProgram, Objective
 from repro.lp.result import LPSolution, LPStatus
@@ -52,9 +73,17 @@ __all__ = [
     "LPStatus",
     "Objective",
     "Sense",
+    "SolveOptions",
+    "SolverBackend",
+    "SolverError",
     "SparseLPBuilder",
     "Variable",
     "VariableArena",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
     "solve_lp",
     "solve_compiled",
 ]

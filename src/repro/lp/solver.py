@@ -1,79 +1,87 @@
-"""Solve :class:`repro.lp.LinearProgram` models with scipy's HiGHS backend.
+"""Solve :class:`repro.lp.LinearProgram` models through registered backends.
 
 The paper's algorithm only needs an optimal *fractional* solution of the
 Section-2 relaxation; HiGHS (bundled with scipy) is more than adequate for
-the instance sizes a pure-Python reproduction targets, and keeping the
-backend behind :func:`solve_lp` means the rest of the code never touches
-scipy directly.
+that and remains the default.  Exact integer solves go through the same
+entry points by picking the ``"highs-mip"`` (or optional ``"gurobi"``)
+backend -- see :mod:`repro.lp.backends`.  Keeping every backend behind
+:func:`solve_lp` / :func:`solve_compiled` means the rest of the code never
+touches solver libraries directly.
+
+Failure semantics: infeasible and unbounded outcomes are *returned* as
+:class:`LPSolution` values (they are legitimate answers about the model);
+solver malfunctions -- unknown status codes, numerical failure, a missing
+optional backend -- *raise* :class:`~repro.lp.backends.SolverError`
+carrying the backend's own diagnostic message.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.optimize import linprog
+from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.lp.backends import SolveOptions, get_backend
 from repro.lp.model import CompiledLP, LinearProgram
 from repro.lp.result import LPSolution, LPStatus
 
-#: scipy.optimize.linprog status codes -> our enum.
-_STATUS_MAP = {
-    0: LPStatus.OPTIMAL,
-    1: LPStatus.ERROR,  # iteration limit
-    2: LPStatus.INFEASIBLE,
-    3: LPStatus.UNBOUNDED,
-    4: LPStatus.ERROR,
-}
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lp.sparse import LPBuildStats
 
 
-def solve_lp(model: LinearProgram, method: str = "highs") -> LPSolution:
+def solve_lp(
+    model: LinearProgram,
+    backend: str = "highs",
+    *,
+    options: SolveOptions | None = None,
+) -> LPSolution:
     """Solve ``model`` and return an :class:`LPSolution`.
 
     Parameters
     ----------
     model:
         The linear program to solve.
-    method:
-        scipy ``linprog`` method name; ``"highs"`` (dual simplex / IPM chosen
-        automatically) is the default and the only one exercised by the tests.
+    backend:
+        Registered backend name (``"highs"`` by default; ``"highs-mip"`` or
+        ``"gurobi"`` for integer programs).
+    options:
+        Backend-independent :class:`~repro.lp.backends.SolveOptions`
+        (integrality, time limit, MIP gap, warm start).
     """
     if model.num_variables == 0:
         return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, values=np.empty(0))
-    return solve_compiled(model.compile(), method=method)
+    return solve_compiled(model.compile(), backend=backend, options=options)
 
 
-def solve_compiled(compiled: CompiledLP, method: str = "highs") -> LPSolution:
-    """Solve an already-compiled matrix-form LP.
+def solve_compiled(
+    compiled: CompiledLP,
+    backend: str = "highs",
+    *,
+    options: SolveOptions | None = None,
+    stats: "LPBuildStats | None" = None,
+) -> LPSolution:
+    """Solve an already-compiled matrix-form LP through a registered backend.
 
     Both build paths converge here: the expression-tree layer compiles via
     :meth:`repro.lp.model.LinearProgram.compile`, the vectorized layer via
     :meth:`repro.lp.sparse.SparseLPBuilder.build`.
-    """
-    if len(compiled.c) == 0:
-        return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, values=np.empty(0))
 
-    result = linprog(
-        c=compiled.c,
-        A_ub=compiled.A_ub,
-        b_ub=compiled.b_ub,
-        A_eq=compiled.A_eq,
-        b_eq=compiled.b_eq,
-        bounds=compiled.bounds,
-        method=method,
-    )
-    status = _STATUS_MAP.get(result.status, LPStatus.ERROR)
-    if status is not LPStatus.OPTIMAL:
-        return LPSolution(
-            status=status,
-            objective=float("nan"),
-            values=np.empty(0),
-            message=str(result.message),
+    When ``stats`` (the :class:`~repro.lp.sparse.LPBuildStats` of the build)
+    is supplied, infeasible / unbounded outcomes name the constraint family
+    row counts in their message, so failures point at the paper's constraint
+    families instead of anonymous matrix rows.
+    """
+    resolved = get_backend(backend)
+    solution = resolved.solve(compiled, options or SolveOptions())
+    if (
+        stats is not None
+        and solution.status in (LPStatus.INFEASIBLE, LPStatus.UNBOUNDED)
+        and stats.blocks
+    ):
+        families = ", ".join(f"{block.name}: {block.rows} rows" for block in stats.blocks)
+        solution.message = (
+            f"{solution.message} [constraint families: {families}]"
+            if solution.message
+            else f"[constraint families: {families}]"
         )
-    # scipy always minimizes compiled.c @ x; undo the sign flip for
-    # maximization models and re-add the constant term.
-    objective = compiled.objective_sign * float(result.fun) + compiled.objective_constant
-    return LPSolution(
-        status=status,
-        objective=objective,
-        values=np.asarray(result.x, dtype=float),
-        message=str(result.message),
-    )
+    return solution

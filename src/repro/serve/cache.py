@@ -281,14 +281,17 @@ def formulation_key(p_digest: str, parameters: Any) -> str:
     """Key for compiled LP formulations (and their solved fractionals).
 
     Covers exactly the knobs :class:`~repro.api.pipeline.FormulateStage`
-    reads -- the backend and the Section-6 extension toggles -- so requests
-    differing only in rounding seed or repair knobs share a line.
+    and :class:`~repro.api.pipeline.SolveStage` read -- the build backend,
+    the solver backend, and the Section-6 extension toggles -- so requests
+    differing only in rounding seed or repair knobs share a line, while
+    solves on different solver backends never alias.
     """
     document = parameters_to_dict(parameters)
     return canonical_digest(
         {
             "problem": p_digest,
             "lp_backend": document["lp_backend"],
+            "solver_backend": document["solver_backend"],
             "extensions": document["extensions"],
         }
     )

@@ -57,6 +57,7 @@ EXPECTED_STRATEGIES = [
     "single-tree",
     "random",
     "exact",
+    "milp-exact",
     "lp-bound",
 ]
 

@@ -700,3 +700,114 @@ class TestParser:
     def test_generate_requires_out(self):
         with pytest.raises(SystemExit):
             main(["generate", "--workload", "random"])
+
+
+class TestSolverBackendCli:
+    def test_list_backends(self, capsys):
+        assert main(["design", "--list-backends"]) == 0
+        output = capsys.readouterr().out
+        assert "highs" in output and "highs-mip" in output and "gurobi" in output
+
+    def test_unknown_backend_exits_2_naming_installed(self, problem_file, capsys):
+        code = main(
+            ["design", "--problem", problem_file, "--solver-backend", "cplex"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown or unavailable solver backend" in err
+        assert "installed backends" in err
+        assert "highs" in err and "highs-mip" in err
+
+    def test_unavailable_backend_exits_2(self, problem_file, capsys):
+        try:
+            import gurobipy  # noqa: F401
+
+            pytest.skip("gurobipy installed; unavailable path not testable")
+        except ImportError:
+            pass
+        code = main(
+            ["design", "--problem", problem_file, "--solver-backend", "gurobi"]
+        )
+        assert code == 2
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_update_rejects_unknown_backend(self, problem_file, capsys):
+        code = main(
+            [
+                "update",
+                "--problem",
+                problem_file,
+                "--solution",
+                problem_file,
+                "--event",
+                "sink-churn",
+                "--solver-backend",
+                "cplex",
+            ]
+        )
+        assert code == 2
+        assert "installed backends" in capsys.readouterr().err
+
+    def test_milp_flags_rejected_on_non_milp_strategy(self, problem_file, capsys):
+        code = main(
+            [
+                "design",
+                "--problem",
+                problem_file,
+                "--strategy",
+                "greedy",
+                "--time-limit",
+                "5",
+            ]
+        )
+        assert code == 2
+        assert "milp-exact" in capsys.readouterr().err
+        code = main(
+            [
+                "design",
+                "--problem",
+                problem_file,
+                "--strategy",
+                "spaa03",
+                "--mip-gap",
+                "0.01",
+            ]
+        )
+        assert code == 2
+        assert "milp-exact" in capsys.readouterr().err
+
+    def test_design_with_milp_exact_strategy(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "milp.json"
+        code = main(
+            [
+                "design",
+                "--problem",
+                problem_file,
+                "--strategy",
+                "milp-exact",
+                "--time-limit",
+                "30",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "milp-exact" in output
+        solution = load_solution(str(out), load_problem(problem_file))
+        assert solution.metadata["algorithm"] == "milp-exact"
+
+    def test_design_on_explicit_mip_backend(self, problem_file, capsys):
+        code = main(
+            [
+                "design",
+                "--problem",
+                problem_file,
+                "--strategy",
+                "spaa03",
+                "--solver-backend",
+                "highs-mip",
+            ]
+        )
+        assert code == 0
+        assert "total_cost" in capsys.readouterr().out

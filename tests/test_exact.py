@@ -104,3 +104,45 @@ class TestExactDesign:
         )
         with pytest.raises(SearchSpaceTooLarge):
             exact_design(problem, max_subset_size=4, max_search_nodes=100)
+
+
+class TestCandidateDedup:
+    """Regression: duplicate candidate entries must not inflate the search."""
+
+    def _two_reflector_problem(self) -> OverlayDesignProblem:
+        problem = OverlayDesignProblem()
+        problem.add_stream("s")
+        for name in ("r1", "r2"):
+            problem.add_reflector(name, cost=2.0, fanout=2)
+            problem.add_stream_edge("s", name, 0.02, 0.5)
+        problem.add_sink("d")
+        for name in ("r1", "r2"):
+            problem.add_delivery_edge(name, "d", 0.02, 0.5)
+        problem.add_demand("d", "s", success_threshold=0.9)
+        return problem
+
+    def test_feasible_subsets_unique_despite_duplicate_candidates(self):
+        from repro.baselines.exact import _feasible_subsets
+
+        clean = self._two_reflector_problem()
+        dirty = self._two_reflector_problem()
+        # The public API rejects duplicate delivery edges, so corrupt the
+        # per-sink index directly -- the state a buggy ingester would leave.
+        dirty._sink_reflectors["d"].append("r1")
+        assert dirty.candidate_reflectors(dirty.demands[0]).count("r1") == 2
+
+        demand = clean.demands[0]
+        clean_subsets = _feasible_subsets(clean, demand, max_subset_size=3)
+        dirty_subsets = _feasible_subsets(dirty, dirty.demands[0], max_subset_size=3)
+        assert dirty_subsets == clean_subsets
+        assert len(dirty_subsets) == len(set(dirty_subsets))
+        assert all(len(set(subset)) == len(subset) for subset in dirty_subsets)
+
+    def test_nodes_explored_not_inflated_by_duplicates(self):
+        clean = self._two_reflector_problem()
+        dirty = self._two_reflector_problem()
+        dirty._sink_reflectors["d"].append("r2")
+        clean_result = exact_design(clean)
+        dirty_result = exact_design(dirty)
+        assert dirty_result.nodes_explored == clean_result.nodes_explored
+        assert dirty_result.optimal_cost == pytest.approx(clean_result.optimal_cost)

@@ -1,0 +1,191 @@
+"""Tests for the exact MILP designer (repro.baselines.milp).
+
+The load-bearing claim: ``milp-exact`` solves the *same* Section-2 IP the
+brute-force ``exact`` baseline enumerates, so on every instance small enough
+for both, their optimal costs must agree to 1e-9 -- and the cost must sit
+between the LP lower bound and every heuristic's cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import DesignRequest, comparison_designers, get_designer
+from repro.baselines.exact import exact_design
+from repro.baselines.milp import _reflector_equivalence_classes, milp_exact_design
+from repro.core.algorithm import DesignParameters, fractional_lower_bound
+from repro.core.problem import OverlayDesignProblem
+from repro.lp import SolverError
+from repro.workloads import RandomInstanceConfig, random_problem
+
+
+def tiny_instance(seed: int) -> OverlayDesignProblem:
+    return random_problem(
+        RandomInstanceConfig(
+            num_streams=1,
+            num_reflectors=4,
+            num_sinks=3,
+            demands_per_sink=1,
+            min_candidates_per_demand=3,
+        ),
+        rng=seed,
+    )
+
+
+def twin_reflector_problem() -> OverlayDesignProblem:
+    """Three bit-identical reflectors (one orbitope class) plus a decoy."""
+    problem = OverlayDesignProblem()
+    problem.add_stream("s")
+    for name in ("twin-a", "twin-b", "twin-c"):
+        problem.add_reflector(name, cost=4.0, fanout=2)
+        problem.add_stream_edge("s", name, 0.02, 0.5)
+    problem.add_reflector("decoy", cost=9.0, fanout=2)
+    problem.add_stream_edge("s", "decoy", 0.02, 0.5)
+    for sink in ("d1", "d2"):
+        problem.add_sink(sink)
+        for name in ("twin-a", "twin-b", "twin-c", "decoy"):
+            problem.add_delivery_edge(name, sink, 0.02, 0.5)
+        problem.add_demand(sink, "s", success_threshold=0.9)
+    return problem
+
+
+class TestMatchesBruteForce:
+    def test_tiny_problem_cost_matches_exact(self, tiny_problem):
+        brute = exact_design(tiny_problem)
+        milp = milp_exact_design(tiny_problem)
+        assert milp.status == "optimal"
+        assert milp.optimal_cost == pytest.approx(brute.optimal_cost, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tiny_corpus_cost_matches_exact(self, seed):
+        problem = tiny_instance(seed)
+        brute = exact_design(problem)
+        milp = milp_exact_design(problem)
+        assert milp.status == "optimal"
+        assert milp.optimal_cost == pytest.approx(brute.optimal_cost, abs=1e-9)
+
+    def test_solution_is_feasible(self, tiny_problem):
+        milp = milp_exact_design(tiny_problem)
+        for demand in tiny_problem.demands:
+            assert milp.solution.weight_satisfaction(demand) >= 1.0 - 1e-6
+        assert milp.solution.max_fanout_factor() <= 1.0 + 1e-9
+
+
+class TestOrderingAgainstBoundsAndHeuristics:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lp_below_milp_below_every_heuristic(self, seed):
+        problem = tiny_instance(seed)
+        lp_bound = fractional_lower_bound(problem)
+        milp = milp_exact_design(problem)
+        assert lp_bound <= milp.optimal_cost + 1e-6
+        for designer in comparison_designers():
+            result = designer.design(
+                DesignRequest(
+                    problem=problem,
+                    parameters=DesignParameters(seed=0),
+                    strategy=designer.name,
+                )
+            )
+            solution = result.solution
+            feasible = all(
+                solution.weight_satisfaction(d) >= 1.0 - 1e-9
+                for d in problem.demands
+            ) and solution.max_fanout_factor() <= 1.0 + 1e-9
+            if feasible:
+                assert milp.optimal_cost <= solution.total_cost() + 1e-6, (
+                    f"{designer.name} beat the proven integer optimum"
+                )
+
+
+class TestSymmetryBreaking:
+    def test_equivalence_classes_detected(self):
+        classes = _reflector_equivalence_classes(twin_reflector_problem())
+        assert classes == [["twin-a", "twin-b", "twin-c"]]
+
+    def test_distinct_reflectors_are_not_grouped(self, tiny_problem):
+        # build_tiny_problem's reflectors differ in cost/edges: no classes.
+        assert _reflector_equivalence_classes(tiny_problem) == []
+
+    def test_symmetry_rows_preserve_the_optimum(self):
+        problem = twin_reflector_problem()
+        plain = milp_exact_design(problem, symmetry_breaking=False)
+        broken = milp_exact_design(problem, symmetry_breaking=True)
+        assert plain.symmetry_rows == 0
+        assert broken.symmetry_rows == 2  # |class| - 1 ordering rows
+        assert broken.symmetry_classes == 1
+        assert broken.optimal_cost == pytest.approx(plain.optimal_cost, abs=1e-9)
+        assert broken.status == "optimal"
+
+    def test_orbitope_rows_prefer_earliest_registered_twins(self):
+        milp = milp_exact_design(twin_reflector_problem())
+        built = milp.solution.built_reflectors
+        # The ordering rows force z[twin-a] >= z[twin-b] >= z[twin-c]: any
+        # built twin prefix must start at twin-a.
+        if built & {"twin-b", "twin-c"}:
+            assert "twin-a" in built
+
+
+class TestOptionsAndDiagnostics:
+    def test_warm_start_does_not_change_the_optimum(self, tiny_problem):
+        cold = milp_exact_design(tiny_problem)
+        warm = milp_exact_design(tiny_problem, warm_start=cold.lp_values)
+        assert warm.optimal_cost == pytest.approx(cold.optimal_cost, abs=1e-9)
+        assert warm.status == "optimal"
+
+    def test_limits_accepted_and_reported(self, tiny_problem):
+        milp = milp_exact_design(tiny_problem, time_limit=30.0, mip_gap=1e-6)
+        assert milp.status in ("optimal", "feasible")
+        assert milp.mip_gap is not None
+        assert milp.node_count is not None
+        assert milp.mip_dual_bound == pytest.approx(milp.optimal_cost, rel=1e-4)
+
+    def test_unknown_backend_fails_fast(self, tiny_problem):
+        with pytest.raises(SolverError, match="installed backends"):
+            milp_exact_design(tiny_problem, backend="cplex")
+
+    def test_lp_only_backend_rejected(self, tiny_problem):
+        with pytest.raises(SolverError, match="pure LPs only"):
+            milp_exact_design(tiny_problem, backend="highs")
+
+
+class TestDesignerRegistration:
+    def test_registered_strategy_matches_direct_call(self, tiny_problem):
+        direct = milp_exact_design(tiny_problem)
+        result = get_designer("milp-exact").design(
+            DesignRequest(
+                problem=tiny_problem,
+                parameters=DesignParameters(),
+                strategy="milp-exact",
+            )
+        )
+        assert result.total_cost == pytest.approx(direct.optimal_cost, abs=1e-9)
+        assert result.metadata["milp_status"] == "optimal"
+        assert result.lower_bound == pytest.approx(direct.mip_dual_bound)
+        assert result.audit is not None
+        assert result.audit.min_weight_fraction >= 1.0 - 1e-6
+        assert result.audit.max_fanout_factor <= 1.0 + 1e-9
+
+    def test_default_backend_upgrade_to_mip(self, tiny_problem):
+        # parameters.solver_backend == "highs" cannot branch; the designer
+        # upgrades it to "highs-mip" instead of failing.
+        result = get_designer("milp-exact").design(
+            DesignRequest(
+                problem=tiny_problem,
+                parameters=DesignParameters(solver_backend="highs"),
+                strategy="milp-exact",
+            )
+        )
+        assert result.metadata["solver_backend"] == "highs-mip"
+
+    def test_warm_start_option_round_trips_as_list(self, tiny_problem):
+        cold = milp_exact_design(tiny_problem)
+        result = get_designer("milp-exact").design(
+            DesignRequest(
+                problem=tiny_problem,
+                parameters=DesignParameters(),
+                strategy="milp-exact",
+                options={"warm_start": np.asarray(cold.lp_values).tolist()},
+            )
+        )
+        assert result.total_cost == pytest.approx(cold.optimal_cost, abs=1e-9)
