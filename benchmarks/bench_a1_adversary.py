@@ -1,0 +1,24 @@
+"""Experiment A1 -- designer vs adversary on the AS/geo workload.
+
+Scenario ``a1`` designs one AS/geo-grounded instance (real metro populations,
+multi-homed carriers) with the extended color-constrained pipeline and the two
+comparison baselines, then lets an adversary pick each design's worst failure
+scenario from the full catalogue -- built-in scenarios plus the shipped DSL
+files, including attacks targeted at the reflectors the design under test
+actually leans on.  The ISP-diversity extension must strictly beat both
+baselines at their respective adversarial worst cases.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_a1_designer_vs_adversary():
+    record = run_and_record("a1")
+    designs = {row["design"] for row in record.rows}
+    scenarios = {row["scenario"] for row in record.rows}
+    assert designs == {"spaa03-extended", "greedy", "single-tree"}
+    assert len(record.rows) == len(designs) * len(scenarios)
+    picks = [row for row in record.rows if row["adversary_pick"]]
+    assert len(picks) == len(designs)

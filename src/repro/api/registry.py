@@ -89,6 +89,11 @@ class RegisteredDesigner:
             from repro.simulation import evaluate_design, evaluate_design_streaming
 
             spec = request.evaluation
+            if spec.scenario_files:
+                from repro.simulation import register_scenario_file
+
+                for path in spec.scenario_files:
+                    register_scenario_file(path)
             if spec.mode == "streaming":
                 result.evaluation = evaluate_design_streaming(
                     request.problem,

@@ -82,6 +82,11 @@ class EvaluationSpec:
     max_memory:
         Streaming working-set bound in bytes (``None`` keeps the default
         tile grid).
+    scenario_files:
+        Paths to scenario DSL documents (see :mod:`repro.simulation.dsl`)
+        registered into the catalogue before the sweep runs; their names
+        become sweepable exactly like built-ins (``scenarios="all"`` picks
+        them up).  Validation failures surface when the request runs.
     """
 
     scenarios: tuple[str, ...] | str = "all"
@@ -92,12 +97,15 @@ class EvaluationSpec:
     mode: str = "batched"
     traces: tuple[str, ...] = ()
     max_memory: int | None = None
+    scenario_files: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.scenarios, list):
             self.scenarios = tuple(self.scenarios)
         if isinstance(self.traces, list):
             self.traces = tuple(self.traces)
+        if isinstance(self.scenario_files, list):
+            self.scenario_files = tuple(self.scenario_files)
         if self.trials <= 0:
             raise ValueError("trials must be positive")
         if self.num_packets <= 0:
@@ -130,6 +138,8 @@ def evaluation_spec_to_dict(spec: EvaluationSpec) -> dict[str, Any]:
         data["traces"] = list(spec.traces)
     if spec.max_memory is not None:
         data["max_memory"] = spec.max_memory
+    if spec.scenario_files:
+        data["scenario_files"] = list(spec.scenario_files)
     return data
 
 
@@ -145,6 +155,7 @@ def evaluation_spec_from_dict(data: dict[str, Any]) -> EvaluationSpec:
         mode=data.get("mode", "batched"),
         traces=tuple(data.get("traces", ())),
         max_memory=data.get("max_memory"),
+        scenario_files=tuple(data.get("scenario_files", ())),
     )
 
 

@@ -58,6 +58,7 @@ incomparable baseline; 3 a classified regression against ``--compare-to``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -86,10 +87,12 @@ from repro.core.serialization import (
 from repro.simulation import SimulationConfig, simulate_solution
 from repro.workloads import (
     AkamaiLikeConfig,
+    AsGeoConfig,
     FlashCrowdConfig,
     InternetScaleConfig,
     RandomInstanceConfig,
     generate_akamai_like_topology,
+    generate_as_geo_problem,
     generate_flash_crowd_scenario,
     generate_internet_scale_problem,
     random_problem,
@@ -104,9 +107,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         topology, _registry = generate_flash_crowd_scenario(FlashCrowdConfig(), rng=args.seed)
         problem = topology.to_problem()
     elif args.workload == "internet-scale":
-        problem, _registry = generate_internet_scale_problem(
-            InternetScaleConfig(num_sinks=args.sinks), rng=args.seed
+        config = (
+            InternetScaleConfig(num_sinks=args.sinks)
+            if args.sinks is not None
+            else InternetScaleConfig()
         )
+        problem, _registry = generate_internet_scale_problem(config, rng=args.seed)
+    elif args.workload == "as-geo":
+        geo_config = (
+            AsGeoConfig(num_sinks=args.sinks) if args.sinks is not None else AsGeoConfig()
+        )
+        problem, _registry = generate_as_geo_problem(geo_config, rng=args.seed)
     else:  # random
         problem = random_problem(RandomInstanceConfig(), rng=args.seed)
     dump_problem(problem, args.out)
@@ -462,6 +473,13 @@ def _simulate_scenario_task(task: dict) -> dict:
     the task carries ``stream=True``), so a CLI sweep is seeded and assembled
     identically to the Designer-API and R2 sweeps.
     """
+    # User DSL scenarios live only in the parent's registry; re-register them
+    # in this worker process (shipped files auto-load, user files travel in
+    # the task dict).
+    for path in task.get("scenario_files") or ():
+        from repro.simulation import register_scenario_file
+
+        register_scenario_file(path)
     problem = load_problem(task["problem"])
     solution = load_solution(task["solution"], problem)
     if task.get("stream"):
@@ -530,6 +548,81 @@ def _list_load_traces() -> int:
         for name in load_trace_names()
     ]
     print(format_table(rows, title="registered load traces"))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.simulation import failure_scenario_names, get_failure_scenario
+    from repro.simulation.dsl import (
+        ScenarioValidationError,
+        compiled_scenario_spec,
+        load_scenario_file,
+        shipped_scenario_paths,
+    )
+
+    if args.validate is not None:
+        paths = [Path(p) for p in args.validate] or shipped_scenario_paths()
+        failures = 0
+        for path in paths:
+            try:
+                scenario = load_scenario_file(path)
+            except OSError as error:
+                print(f"FAIL {path}: cannot read: {error}", file=sys.stderr)
+                failures += 1
+            except ScenarioValidationError as error:
+                print(f"FAIL {path}:", file=sys.stderr)
+                for issue in error.issues:
+                    print(f"  {issue}", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"ok   {path} -> {scenario.name}")
+        if failures:
+            print(f"error: {failures} of {len(paths)} scenario file(s) invalid", file=sys.stderr)
+            return 2
+        print(f"{len(paths)} scenario file(s) valid")
+        return 0
+
+    if args.show:
+        try:
+            scenario = get_failure_scenario(args.show)
+        except KeyError:
+            print(
+                f"error: unknown scenario {args.show!r}; "
+                f"known: {', '.join(failure_scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        record = compiled_scenario_spec(scenario.name)
+        print(f"name:        {scenario.name}")
+        print(f"description: {scenario.description}")
+        print(f"tags:        {', '.join(scenario.tags) or '-'}")
+        if record is None:
+            print("source:      built-in (Python)")
+        else:
+            print(f"source:      {record['source']}")
+            print("normalized spec:")
+            print(_json.dumps(record["spec"], indent=2))
+        return 0
+
+    rows = []
+    for name in failure_scenario_names():
+        scenario = get_failure_scenario(name)
+        record = compiled_scenario_spec(name)
+        rows.append(
+            {
+                "scenario": name,
+                "source": "built-in" if record is None else "dsl",
+                "tags": ",".join(scenario.tags) or "-",
+                "description": scenario.description,
+            }
+        )
+    print(format_table(rows, title="failure-scenario catalogue"))
+    print(
+        "\nDSL scenarios compile from YAML/JSON documents (docs/scenarios.md); "
+        "validate files with: repro scenarios --validate [FILE ...]"
+    )
     return 0
 
 
@@ -609,9 +702,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        names: list[str] = []
+        # A --scenario value that looks like a path is a DSL document: it is
+        # validated, registered, and swept under its own name.
+        selections: list[str] = []
         for chunk in args.scenario:
-            names.extend(s.strip() for s in chunk.split(",") if s.strip())
+            selections.extend(s.strip() for s in chunk.split(",") if s.strip())
+        names: list[str] = []
+        scenario_files: list[str] = []
+        for selection in selections:
+            if selection.endswith((".json", ".yaml", ".yml")) or os.sep in selection:
+                scenario_files.append(selection)
+            else:
+                names.append(selection)
+        if scenario_files:
+            from repro.simulation import ScenarioValidationError, register_scenario_file
+
+            for path in scenario_files:
+                try:
+                    names.append(register_scenario_file(path).name)
+                except OSError as error:
+                    print(f"error: cannot read scenario file: {error}", file=sys.stderr)
+                    return 2
+                except ScenarioValidationError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
         if "all" in names:
             names = failure_scenario_names()
         unknown = [n for n in names if n not in failure_scenario_names()]
@@ -636,6 +750,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "demand_tile": args.demand_tile,
                 "trial_tile": args.trial_tile,
                 "max_memory": max_memory if args.stream else None,
+                "scenario_files": scenario_files,
             }
             for name in names
         ]
@@ -1122,14 +1237,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument(
         "--workload",
-        choices=["akamai", "flash-crowd", "random", "internet-scale"],
+        choices=["akamai", "flash-crowd", "random", "internet-scale", "as-geo"],
         default="akamai",
     )
     generate.add_argument(
         "--sinks",
         type=int,
-        default=10_000,
-        help="sink count for --workload internet-scale (default: 10000)",
+        default=None,
+        help="sink count for --workload internet-scale / as-geo "
+        "(defaults: 10000 / 600)",
     )
     generate.set_defaults(func=_cmd_generate)
 
@@ -1311,7 +1427,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         action="append",
         help="failure scenario(s) to sweep (repeatable / comma-separated; 'all' "
-        "for the whole catalogue; see --list-scenarios)",
+        "for the whole catalogue; a .json/.yaml path compiles and sweeps a "
+        "scenario DSL document; see --list-scenarios and docs/scenarios.md)",
     )
     simulate.add_argument(
         "--engine",
@@ -1361,6 +1478,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming tile width in trials (default: auto)",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list, validate, and inspect the failure-scenario catalogue "
+        "(built-ins + DSL files; see docs/scenarios.md)",
+    )
+    scenarios.add_argument(
+        "--list",
+        action="store_true",
+        help="list the catalogue with sources and tags (the default action)",
+    )
+    scenarios.add_argument(
+        "--validate",
+        nargs="*",
+        metavar="FILE",
+        default=None,
+        help="validate scenario DSL file(s); with no FILE, round-trips every "
+        "shipped scenario file (the CI gate)",
+    )
+    scenarios.add_argument(
+        "--show",
+        metavar="NAME",
+        help="print one scenario's description and, for DSL scenarios, its "
+        "normalized spec",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     bench = sub.add_parser(
         "bench",

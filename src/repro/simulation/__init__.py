@@ -27,13 +27,26 @@ process for any :class:`repro.core.OverlaySolution`:
   streaming fold;
 * :mod:`repro.simulation.scenarios` -- the registered failure-scenario
   catalogue (:func:`evaluate_design` sweeps a design across it;
-  :func:`evaluate_design_streaming` is the memory-bounded variant).
+  :func:`evaluate_design_streaming` is the memory-bounded variant);
+* :mod:`repro.simulation.dsl` -- the composable scenario DSL: YAML/JSON
+  documents compiled into catalogue entries (the shipped ``*.json`` files
+  under ``repro/simulation/scenarios/`` auto-register on first catalogue
+  access; see ``docs/scenarios.md``).
 
 The engines are the empirical cross-check for the analytic reliability claims
 and the workhorse of the C1/T6/R1/R2 benchmarks; see ``docs/simulation.md``
 for the design and the RNG/determinism contract.
 """
 
+from repro.simulation.dsl import (
+    ScenarioValidationError,
+    SpecIssue,
+    compile_scenario,
+    load_scenario_file,
+    normalize_scenario_spec,
+    register_scenario_file,
+    shipped_scenario_paths,
+)
 from repro.simulation.engine import SimulationConfig, SimulationReport, simulate_solution
 from repro.simulation.failures import (
     FailureEvent,
@@ -62,7 +75,10 @@ from repro.simulation.scenarios import (
     failure_scenario_names,
     get_failure_scenario,
     realize_scenario,
+    reflector_betweenness,
     register_failure_scenario,
+    scenario_stream_key,
+    top_betweenness_reflectors,
 )
 from repro.simulation.streaming import (
     StreamingAccumulator,
@@ -92,6 +108,7 @@ __all__ = [
     "PathTable",
     "ScenarioContext",
     "ScenarioRealization",
+    "ScenarioValidationError",
     "SessionActivity",
     "SimulationConfig",
     "SimulationReport",
@@ -100,20 +117,29 @@ __all__ = [
     "StreamingConfig",
     "StreamingMemoryError",
     "StreamingReport",
+    "SpecIssue",
     "TraceReport",
     "compile_path_table",
+    "compile_scenario",
     "evaluate_design",
     "evaluate_design_streaming",
     "failure_scenario_names",
     "get_failure_scenario",
     "get_load_trace",
+    "load_scenario_file",
     "load_trace_names",
+    "normalize_scenario_spec",
     "post_reconstruction_loss",
     "realize_scenario",
     "reconstruct",
+    "reflector_betweenness",
     "register_failure_scenario",
     "register_load_trace",
+    "register_scenario_file",
     "run_monte_carlo",
+    "scenario_stream_key",
+    "shipped_scenario_paths",
+    "top_betweenness_reflectors",
     "run_streaming_monte_carlo",
     "sample_flash_crowd_congestion",
     "sample_isp_outage_schedule",

@@ -25,10 +25,27 @@ Built-in scenarios
     (:func:`~repro.simulation.failures.sample_flash_crowd_congestion`).
 ``bursty-links``
     Gilbert-Elliott bursty loss at the same average link rates.
+
+Beyond the five built-ins, this package directory ships a library of
+*composable* scenario files (``*.json``) compiled by
+:mod:`repro.simulation.dsl` and auto-registered on first catalogue access --
+see ``docs/scenarios.md`` for the schema and the authoring guide.
+
+RNG stream keying
+-----------------
+Each scenario's failure draw and engine stream derive from a *stable
+per-name key* (:func:`scenario_stream_key`), never from the scenario's
+position in the registry: registering new scenarios (the whole point of the
+DSL) must not silently re-seed -- and therefore re-value -- the metrics of
+existing ones.  The five built-ins keep their historical positional keys
+0..4 through a pinned compat mapping, so their ``evaluate_design`` metrics
+are bit-identical to every release since the catalogue landed; any other
+name maps to a digest of the name itself.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -67,7 +84,13 @@ TableProvider = Callable[
 
 @dataclass(frozen=True)
 class ScenarioContext:
-    """Everything a scenario needs to realize itself for one instance."""
+    """Everything a scenario needs to realize itself for one instance.
+
+    ``solution`` is the design under test, when the caller has one; it is
+    ``None`` for design-independent sweeps.  Scenarios that need it (the
+    ``targeted-attack`` DSL primitive) must degrade gracefully -- attacking
+    the statically most-loaded reflectors -- rather than fail.
+    """
 
     problem: OverlayDesignProblem
     num_packets: int
@@ -75,6 +98,7 @@ class ScenarioContext:
     node_isp: Mapping[str, str | None]
     clusters: Mapping[str, Sequence[str]]
     hot_sinks: Sequence[str]
+    solution: OverlaySolution | None = None
 
 
 @dataclass(frozen=True)
@@ -102,6 +126,33 @@ class FailureScenario:
 
 _REGISTRY: dict[str, FailureScenario] = {}
 
+#: Historical positional stream keys for the scenarios that predate
+#: :func:`scenario_stream_key`.  Frozen forever: changing a value here
+#: changes published metrics.
+_COMPAT_STREAM_KEYS: dict[str, int] = {
+    "baseline": 0,
+    "isp-outage": 1,
+    "regional-failure": 2,
+    "flash-crowd": 3,
+    "bursty-links": 4,
+}
+
+
+def scenario_stream_key(name: str) -> int:
+    """Stable RNG stream key for ``name``.
+
+    Built-ins keep their historical positional keys (0..4); every other name
+    hashes to ``5 + sha256(name)[:8]``, so the key depends only on the name --
+    never on what else is registered or in what order.  Both
+    :func:`evaluate_design` and :func:`evaluate_design_streaming` seed their
+    per-scenario failure/engine streams from this key.
+    """
+    compat = _COMPAT_STREAM_KEYS.get(name)
+    if compat is not None:
+        return compat
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return 5 + int.from_bytes(digest[:8], "big")
+
 
 def register_failure_scenario(scenario: FailureScenario) -> FailureScenario:
     """Register ``scenario`` under its name (last registration wins)."""
@@ -109,7 +160,27 @@ def register_failure_scenario(scenario: FailureScenario) -> FailureScenario:
     return scenario
 
 
+_shipped_loaded = False
+
+
+def _ensure_shipped_scenarios() -> None:
+    """Auto-register the scenario files shipped inside this package.
+
+    Deferred (and imported lazily) so ``repro.simulation.scenarios`` stays
+    importable without :mod:`repro.simulation.dsl`, and the dsl module can in
+    turn import this one without a cycle.
+    """
+    global _shipped_loaded
+    if _shipped_loaded:
+        return
+    _shipped_loaded = True
+    from repro.simulation.dsl import register_shipped_scenarios
+
+    register_shipped_scenarios()
+
+
 def get_failure_scenario(name: str) -> FailureScenario:
+    _ensure_shipped_scenarios()
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -119,6 +190,7 @@ def get_failure_scenario(name: str) -> FailureScenario:
 
 def failure_scenario_names() -> list[str]:
     """All registered scenario names, in registration order."""
+    _ensure_shipped_scenarios()
     return list(_REGISTRY)
 
 
@@ -153,12 +225,50 @@ def hot_sinks(problem: OverlayDesignProblem, fraction: float = 0.3) -> list[str]
     return ranked[:keep]
 
 
+def reflector_betweenness(
+    problem: OverlayDesignProblem, solution: OverlaySolution | None
+) -> dict[str, int]:
+    """Demand paths carried per reflector -- overlay betweenness centrality.
+
+    In the paper's 3-level overlay every source->sink path transits exactly
+    one reflector, so a reflector's betweenness is simply the number of
+    demand assignments routed through it.  Without a solution, falls back to
+    a static proxy -- how many demands list the reflector as a candidate --
+    enough for an adversary to pick plausibly central targets before a
+    design exists.
+    """
+    counts: dict[str, int] = dict.fromkeys(problem.reflectors, 0)
+    if solution is not None:
+        for reflectors in solution.assignments.values():
+            for reflector in reflectors:
+                if reflector in counts:
+                    counts[reflector] += 1
+        return counts
+    for demand in problem.demands:
+        for reflector in problem.candidate_reflectors(demand):
+            if reflector in counts:
+                counts[reflector] += 1
+    return counts
+
+
+def top_betweenness_reflectors(
+    problem: OverlayDesignProblem,
+    solution: OverlaySolution | None,
+    top_k: int,
+) -> list[str]:
+    """The ``top_k`` highest-betweenness reflectors (count desc, name asc)."""
+    counts = reflector_betweenness(problem, solution)
+    ranked = sorted(counts, key=lambda name: (-counts[name], name))
+    return ranked[: max(0, top_k)]
+
+
 def build_context(
     problem: OverlayDesignProblem,
     num_packets: int,
     rng: np.random.Generator,
     node_isp: Mapping[str, str | None] | None = None,
     clusters: Mapping[str, Sequence[str]] | None = None,
+    solution: OverlaySolution | None = None,
 ) -> ScenarioContext:
     """Assemble a :class:`ScenarioContext`, inferring what the caller omits."""
     if node_isp is None:
@@ -172,6 +282,7 @@ def build_context(
         node_isp=node_isp,
         clusters=clusters,
         hot_sinks=hot_sinks(problem),
+        solution=solution,
     )
 
 
@@ -182,10 +293,11 @@ def realize_scenario(
     rng: np.random.Generator,
     node_isp: Mapping[str, str | None] | None = None,
     clusters: Mapping[str, Sequence[str]] | None = None,
+    solution: OverlaySolution | None = None,
 ) -> ScenarioRealization:
     """Realize one registered scenario for ``problem`` (one failure draw)."""
     scenario = get_failure_scenario(name)
-    context = build_context(problem, num_packets, rng, node_isp, clusters)
+    context = build_context(problem, num_packets, rng, node_isp, clusters, solution)
     return scenario.realize(context)
 
 
@@ -309,13 +421,14 @@ def evaluate_design(
     isp_map = dict(node_isp) if node_isp is not None else None
     results: dict[str, dict[str, float]] = {}
     for name in names:
-        index = failure_scenario_names().index(name)
+        key = scenario_stream_key(name)
         realization = realize_scenario(
             name,
             problem,
             num_packets,
-            np.random.default_rng([seed, index, 0]),
+            np.random.default_rng([seed, key, 0]),
             node_isp=isp_map,
+            solution=solution,
         )
         config = MonteCarloConfig(
             num_packets=num_packets,
@@ -339,7 +452,7 @@ def evaluate_design(
             problem,
             solution,
             config,
-            rng=np.random.default_rng([seed, index, 1]),
+            rng=np.random.default_rng([seed, key, 1]),
             node_isp=isp_map,
             table=table,
         )
@@ -372,9 +485,10 @@ def evaluate_design_streaming(
     """Memory-bounded catalogue sweep (the streaming counterpart of
     :func:`evaluate_design`).
 
-    Per scenario, the failure draw consumes the same ``[seed, index, 0]``
-    stream as :func:`evaluate_design`, and the streaming engine's integer
-    seed derives from ``[seed, index, 1]`` -- so the sweep is reproducible
+    Per scenario, the failure draw consumes the same ``[seed, key, 0]``
+    stream as :func:`evaluate_design` (``key`` from
+    :func:`scenario_stream_key`), and the streaming engine's integer
+    seed derives from ``[seed, key, 1]`` -- so the sweep is reproducible
     from ``seed`` and insensitive to scenario order/subset, and ``jobs``
     never changes metrics.  ``traces`` adds per-window loss/rebuffering
     metrics (flattened as ``"trace:<name>:<metric>"``) replayed through the
@@ -386,16 +500,17 @@ def evaluate_design_streaming(
     isp_map = dict(node_isp) if node_isp is not None else None
     results: dict[str, dict[str, float]] = {}
     for name in names:
-        index = failure_scenario_names().index(name)
+        key = scenario_stream_key(name)
         realization = realize_scenario(
             name,
             problem,
             num_packets,
-            np.random.default_rng([seed, index, 0]),
+            np.random.default_rng([seed, key, 0]),
             node_isp=isp_map,
+            solution=solution,
         )
         engine_seed = int(
-            np.random.SeedSequence([seed, index, 1]).generate_state(1, dtype=np.uint64)[0]
+            np.random.SeedSequence([seed, key, 1]).generate_state(1, dtype=np.uint64)[0]
         )
         config = StreamingConfig(
             num_packets=num_packets,

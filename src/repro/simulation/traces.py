@@ -133,6 +133,21 @@ def diurnal_intensity(
     return 1.0 + amplitude * np.cos(2.0 * np.pi * (phase - peak_phase))
 
 
+def flash_crowd_intensity(num_windows: int) -> np.ndarray:
+    """A quiet diurnal base plus a sharp synchronized join spike.
+
+    The "everyone tunes in for the event" curve: most arrivals land inside a
+    narrow Gaussian spike at 60% of the day (the paper's MacWorld-2002
+    motivation).  Shared by the ``flash-crowd`` load trace and the scenario
+    DSL's ``traffic-overlay`` primitive, so both stress the same audience
+    shape.
+    """
+    phase = np.arange(num_windows, dtype=np.float64) / max(num_windows, 1)
+    base = 0.25 * diurnal_intensity(num_windows)
+    spike = 6.0 * np.exp(-0.5 * ((phase - 0.6) / 0.03) ** 2)
+    return base + spike
+
+
 # --------------------------------------------------------------- the registry
 
 LOAD_TRACES: dict[str, LoadTrace] = {}
@@ -171,14 +186,8 @@ def _realize_diurnal(context: TraceContext) -> SessionActivity:
 
 
 def _realize_flash_crowd(context: TraceContext) -> SessionActivity:
-    # A quiet diurnal base plus a sharp synchronized join (the "everyone
-    # tunes in for the event" case): most sessions start inside a narrow
-    # spike at 60% of the day and are short.
-    num_windows = context.num_windows
-    phase = np.arange(num_windows, dtype=np.float64) / max(num_windows, 1)
-    base = 0.25 * diurnal_intensity(num_windows)
-    spike = 6.0 * np.exp(-0.5 * ((phase - 0.6) / 0.03) ** 2)
-    return sample_sessions(context, base + spike, mean_windows=context.num_windows / 10.0)
+    intensity = flash_crowd_intensity(context.num_windows)
+    return sample_sessions(context, intensity, mean_windows=context.num_windows / 10.0)
 
 
 register_load_trace(

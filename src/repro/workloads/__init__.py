@@ -21,10 +21,14 @@ algorithm and of the evaluation harness can be exercised:
   scenario used by the C1 benchmark and the examples;
 * :mod:`repro.workloads.internet_scale` -- the vectorized 10k--50k sink tier
   with sparse metro-local candidate sets, built for the sharded pipeline of
-  :mod:`repro.scale` and the T8 scaling benchmark.
+  :mod:`repro.scale` and the T8 scaling benchmark;
+* :mod:`repro.workloads.as_geo` -- AS/geo-grounded instances: real metro
+  populations and coordinates, backbone carriers with regional footprints,
+  every metro multi-homed in >= 2 ISPs (the A1 adversary bench's workload).
 """
 
 from repro.workloads.akamai_like import AkamaiLikeConfig, generate_akamai_like_topology
+from repro.workloads.as_geo import AsGeoConfig, generate_as_geo_problem
 from repro.workloads.flash_crowd import FlashCrowdConfig, generate_flash_crowd_scenario
 from repro.workloads.internet_scale import (
     InternetScaleConfig,
@@ -45,6 +49,7 @@ from repro.workloads.tiny import build_tiny_problem
 
 __all__ = [
     "AkamaiLikeConfig",
+    "AsGeoConfig",
     "FlashCrowdConfig",
     "InternetScaleConfig",
     "RandomInstanceConfig",
@@ -52,6 +57,7 @@ __all__ = [
     "build_tiny_problem",
     "distance",
     "generate_akamai_like_topology",
+    "generate_as_geo_problem",
     "generate_flash_crowd_scenario",
     "generate_internet_scale_problem",
     "loss_probability_from_distance",

@@ -1,0 +1,339 @@
+"""AS/geo-grounded deployments: real metro populations, ISP peering flavour.
+
+:mod:`repro.workloads.internet_scale` scales to millions of uniform sinks on
+a unit square; this module is the *realism* tier next to it.  Instances are
+grounded in the actual geography the paper's deployment lives in:
+
+* *metros* -- the world's largest metropolitan areas with their real
+  populations and coordinates; sinks are allocated proportionally to
+  population (Tokyo gets ~4x the edgeservers of Chicago), and link loss
+  follows great-circle distance.
+* *ISP peering flavour* -- a small set of backbone carriers, each with a
+  regional footprint (an Asia-centric carrier peers in Asian and US metros,
+  a Latin-American one in South America and Iberia...).  Every metro is
+  **multi-homed in at least two carriers**, and its reflectors alternate
+  between them, so each sink's local candidates already span two ISPs --
+  the structural fact the paper's Section-6.4 ISP-diversity constraints
+  exploit, and what makes ``spaa03-extended`` feasible on every instance.
+* *naming* -- metro slugs are hyphen-free (``saopaulo``, ``newyork``), so
+  node names like ``tokyo-r1``/``tokyo-s17`` let
+  :func:`repro.simulation.scenarios.infer_clusters` recover metros as the
+  topology clusters that regional/disaster scenarios strike.
+
+The generator mirrors the batched construction of
+:func:`~repro.workloads.internet_scale.generate_internet_scale_problem`
+(vectorized loss draws, threshold downgrade to guarantee feasibility) at the
+hundreds-to-thousands-of-sinks size the A1 designer-vs-adversary bench
+sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import OverlayDesignProblem
+from repro.core.weights import threshold_to_weight
+from repro.network.isp import ISP, ISPRegistry
+from repro.workloads.internet_scale import _batched_loss
+
+_QUALITY_THRESHOLDS = (0.999, 0.99, 0.95)
+
+#: (slug, latitude, longitude, population in millions, region).  Slugs are
+#: hyphen-free on purpose: ``infer_clusters`` splits node names on the first
+#: ``-``, so ``saopaulo-s3`` must yield the metro, not ``"sao"``.
+METROS: tuple[tuple[str, float, float, float, str], ...] = (
+    ("tokyo", 35.68, 139.69, 37.4, "asia"),
+    ("delhi", 28.61, 77.21, 32.9, "asia"),
+    ("shanghai", 31.23, 121.47, 29.2, "asia"),
+    ("dhaka", 23.81, 90.41, 23.2, "asia"),
+    ("saopaulo", -23.55, -46.63, 22.6, "southamerica"),
+    ("mexicocity", 19.43, -99.13, 22.3, "northamerica"),
+    ("cairo", 30.04, 31.24, 22.2, "africa"),
+    ("beijing", 39.90, 116.41, 21.8, "asia"),
+    ("mumbai", 19.08, 72.88, 21.3, "asia"),
+    ("osaka", 34.69, 135.50, 19.0, "asia"),
+    ("newyork", 40.71, -74.01, 18.8, "northamerica"),
+    ("karachi", 24.86, 67.01, 17.6, "asia"),
+    ("chongqing", 29.56, 106.55, 16.9, "asia"),
+    ("kinshasa", -4.44, 15.27, 16.3, "africa"),
+    ("lagos", 6.52, 3.38, 15.9, "africa"),
+    ("istanbul", 41.01, 28.98, 15.8, "europe"),
+    ("buenosaires", -34.60, -58.38, 15.4, "southamerica"),
+    ("kolkata", 22.57, 88.36, 15.2, "asia"),
+    ("manila", 14.60, 120.98, 14.4, "asia"),
+    ("guangzhou", 23.13, 113.26, 14.0, "asia"),
+    ("riodejaneiro", -22.91, -43.17, 13.7, "southamerica"),
+    ("moscow", 55.76, 37.62, 12.6, "europe"),
+    ("losangeles", 34.05, -118.24, 12.5, "northamerica"),
+    ("bogota", 4.71, -74.07, 11.3, "southamerica"),
+    ("paris", 48.86, 2.35, 11.2, "europe"),
+    ("lima", -12.05, -77.04, 11.2, "southamerica"),
+    ("jakarta", -6.21, 106.85, 11.1, "asia"),
+    ("seoul", 37.57, 126.98, 10.0, "asia"),
+    ("london", 51.51, -0.13, 9.6, "europe"),
+    ("chicago", 41.88, -87.63, 8.9, "northamerica"),
+)
+
+#: Backbone carriers and the regions they peer in.  Every region is covered
+#: by at least two carriers, which is what guarantees multi-homing below.
+CARRIERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("ntt", ("asia", "northamerica")),
+    ("tata", ("asia", "europe")),
+    ("pccw", ("asia",)),
+    ("telia", ("europe", "northamerica")),
+    ("cogent", ("northamerica", "europe")),
+    ("lumen", ("northamerica", "southamerica")),
+    ("orange", ("europe", "africa")),
+    ("telxius", ("southamerica", "europe")),
+    ("seacom", ("africa", "asia")),
+)
+
+#: Great-circle kilometres per abstract distance unit.  8000 km -- roughly a
+#: transatlantic hop -- maps to 1.0, the scale the synthetic loss model's
+#: per-unit-distance slope was calibrated for on the unit square.
+_KM_PER_UNIT = 8000.0
+_EARTH_RADIUS_KM = 6371.0
+
+
+def great_circle_km(
+    lat1: np.ndarray, lon1: np.ndarray, lat2: np.ndarray, lon2: np.ndarray
+) -> np.ndarray:
+    """Vectorized haversine distance in kilometres."""
+    p1, l1, p2, l2 = (np.radians(np.asarray(x, dtype=np.float64)) for x in (lat1, lon1, lat2, lon2))
+    h = np.sin((p2 - p1) / 2.0) ** 2 + np.cos(p1) * np.cos(p2) * np.sin((l2 - l1) / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
+@dataclass
+class AsGeoConfig:
+    """Shape of an AS/geo-grounded deployment.
+
+    ``num_metros`` takes the largest metros from :data:`METROS`;
+    ``num_sinks`` edgeservers are spread over them proportionally to real
+    population (every metro keeps at least one).  Reflectors per metro
+    alternate between the metro's carriers, so with
+    ``reflectors_per_metro >= 2`` every sink's local candidates span two
+    ISPs.  The remaining knobs mirror
+    :class:`~repro.workloads.internet_scale.InternetScaleConfig`.
+    """
+
+    num_sinks: int = 600
+    num_metros: int = 24
+    num_streams: int = 3
+    num_sources: int = 3
+    reflectors_per_metro: int = 3
+    candidates_per_sink: int = 6
+    carriers_per_metro: int = 3
+    fanout_headroom: float = 2.5
+    quality_mix: tuple[float, float, float] = (0.2, 0.6, 0.2)
+    isp_outage_probability: float = 0.02
+
+    def __post_init__(self) -> None:
+        if min(
+            self.num_sinks,
+            self.num_metros,
+            self.num_streams,
+            self.num_sources,
+            self.reflectors_per_metro,
+            self.candidates_per_sink,
+        ) <= 0:
+            raise ValueError("all counts must be positive")
+        if self.num_metros > len(METROS):
+            raise ValueError(f"num_metros must be <= {len(METROS)}")
+        if self.num_sinks < self.num_metros:
+            raise ValueError("need at least one sink per metro")
+        if self.reflectors_per_metro < 2:
+            raise ValueError("reflectors_per_metro must be >= 2 (ISP diversity)")
+        if self.candidates_per_sink < 2:
+            raise ValueError("candidates_per_sink must be at least 2")
+        if self.carriers_per_metro < 2:
+            raise ValueError("carriers_per_metro must be >= 2 (multi-homing)")
+        if abs(sum(self.quality_mix) - 1.0) > 1e-9:
+            raise ValueError("quality_mix must sum to 1")
+        if self.fanout_headroom <= 0:
+            raise ValueError("fanout_headroom must be positive")
+
+
+def _allocate_sinks(populations: np.ndarray, num_sinks: int) -> np.ndarray:
+    """Proportional allocation with every metro >= 1 (largest remainder)."""
+    share = populations / populations.sum() * (num_sinks - len(populations))
+    counts = np.floor(share).astype(np.int64) + 1
+    remainder = share - np.floor(share)
+    shortfall = num_sinks - int(counts.sum())
+    if shortfall > 0:
+        for index in np.argsort(-remainder)[:shortfall]:
+            counts[index] += 1
+    return counts
+
+
+def generate_as_geo_problem(
+    config: AsGeoConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[OverlayDesignProblem, ISPRegistry]:
+    """Generate an AS/geo instance and its carrier registry.
+
+    Deterministic given ``rng``; feasible by construction (demand thresholds
+    are downgraded where the measured candidate paths cannot carry the drawn
+    tier, exactly as in the internet-scale generator), and feasible *under
+    ISP-diversity constraints*: every sink's candidate set spans at least
+    two carriers.
+    """
+    config = config or AsGeoConfig()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    metros = sorted(METROS, key=lambda m: (-m[3], m[0]))[: config.num_metros]
+    slugs = [m[0] for m in metros]
+    lat = np.array([m[1] for m in metros])
+    lon = np.array([m[2] for m in metros])
+    populations = np.array([m[3] for m in metros])
+    regions = [m[4] for m in metros]
+
+    problem = OverlayDesignProblem(name=f"as-geo-{config.num_sinks}")
+    registry = ISPRegistry()
+    for carrier, _footprint in CARRIERS:
+        registry.add(ISP(carrier, outage_probability=config.isp_outage_probability))
+
+    # --- multi-homing: which carriers peer in each metro --------------------
+    metro_carriers: list[list[str]] = []
+    for index, region in enumerate(regions):
+        present = [name for name, footprint in CARRIERS if region in footprint]
+        # Region coverage in CARRIERS guarantees >= 2 candidates everywhere.
+        keep = min(config.carriers_per_metro, len(present))
+        order = rng.permutation(len(present))
+        metro_carriers.append(sorted(present[i] for i in order[:keep]))
+
+    # --- metro-to-metro distances in abstract units -------------------------
+    dist_units = (
+        great_circle_km(lat[:, None], lon[:, None], lat[None, :], lon[None, :])
+        / _KM_PER_UNIT
+    )
+    metro_price = 1.0 + 0.4 * rng.random(config.num_metros)
+
+    # --- reflectors: alternate between the metro's carriers -----------------
+    num_reflectors = config.num_metros * config.reflectors_per_metro
+    expected_load = 2.5 * config.num_sinks / num_reflectors
+    fanout = max(2, int(math.ceil(config.fanout_headroom * expected_load)))
+    reflector_cost = rng.uniform(8.0, 25.0, size=num_reflectors)
+    reflector_metro = np.repeat(np.arange(config.num_metros), config.reflectors_per_metro)
+    reflector_names: list[str] = []
+    reflector_carrier: list[str] = []
+    for metro in range(config.num_metros):
+        carriers = metro_carriers[metro]
+        for machine in range(config.reflectors_per_metro):
+            name = f"{slugs[metro]}-r{machine}"
+            reflector_names.append(name)
+            reflector_carrier.append(carriers[machine % len(carriers)])
+            problem.add_reflector(
+                name,
+                cost=float(reflector_cost[len(reflector_names) - 1] * metro_price[metro]),
+                fanout=fanout,
+                color=reflector_carrier[-1],
+            )
+
+    # --- sources and streams: entrypoints at the biggest metros -------------
+    source_metros = np.arange(config.num_sources) % config.num_metros
+    for stream_index in range(config.num_streams):
+        problem.add_stream(
+            f"stream{stream_index}", bandwidth=float(rng.choice([0.3, 1.0, 2.0]))
+        )
+    stream_loss = np.empty((config.num_streams, num_reflectors))
+    for stream_index in range(config.num_streams):
+        origin = int(source_metros[stream_index % config.num_sources])
+        dist = dist_units[origin][reflector_metro]
+        loss = _batched_loss(dist, rng)
+        cost = 0.5 + 0.5 * dist
+        stream_loss[stream_index] = loss
+        for r_index, reflector in enumerate(reflector_names):
+            problem.add_stream_edge(
+                f"stream{stream_index}", reflector, float(loss[r_index]), float(cost[r_index])
+            )
+
+    # --- sinks: population-proportional allocation --------------------------
+    sink_counts = _allocate_sinks(populations, config.num_sinks)
+    sink_metro = np.repeat(np.arange(config.num_metros), sink_counts)
+    sink_names = [
+        f"{slugs[metro]}-s{index}" for index, metro in enumerate(sink_metro)
+    ]
+    for name in sink_names:
+        problem.add_sink(name)
+
+    stream_weights = 1.0 / np.arange(1, config.num_streams + 1) ** 1.1
+    stream_weights /= stream_weights.sum()
+    num_sinks = len(sink_names)
+    sink_stream = rng.choice(config.num_streams, size=num_sinks, p=stream_weights)
+    sink_tier = rng.choice(3, size=num_sinks, p=list(config.quality_mix))
+
+    # --- candidate delivery edges: local first, then peering-biased remote --
+    # Remote draws prefer nearby, well-peered metros: weight proportional to
+    # population over (1 + distance^2), zero for the local metro.
+    local = min(config.reflectors_per_metro, config.candidates_per_sink)
+    n_remote = max(config.candidates_per_sink - local, 0)
+    remote_weight = populations[None, :] / (1.0 + dist_units**2)
+    np.fill_diagonal(remote_weight, 0.0)
+    remote_weight = remote_weight / remote_weight.sum(axis=1, keepdims=True)
+
+    candidates: list[list[int]] = []
+    for s_index in range(num_sinks):
+        metro = int(sink_metro[s_index])
+        base = metro * config.reflectors_per_metro
+        chosen = list(range(base, base + local))
+        if n_remote:
+            remote_metros = rng.choice(
+                config.num_metros, size=n_remote, replace=False, p=remote_weight[metro]
+            )
+            for remote in remote_metros:
+                machine = int(rng.integers(0, config.reflectors_per_metro))
+                chosen.append(int(remote) * config.reflectors_per_metro + machine)
+        candidates.append(chosen)
+
+    edge_sink = np.array([s for s, chosen in enumerate(candidates) for _ in chosen])
+    edge_reflector = np.array([r for chosen in candidates for r in chosen])
+    edge_dist = dist_units[sink_metro[edge_sink], reflector_metro[edge_reflector]]
+    # Intra-metro hops still cover real ground (last-mile + metro backbone).
+    edge_dist = edge_dist + rng.uniform(0.005, 0.03, size=edge_dist.shape)
+    delivery_loss = _batched_loss(edge_dist, rng)
+    price = metro_price[sink_metro[edge_sink]] * (
+        0.6 + 0.1 * rng.uniform(-1.0, 1.0, size=len(edge_sink))
+    )
+    delivery_cost = price * (0.3 + 0.7 * edge_dist)
+    for index in range(len(edge_sink)):
+        problem.add_delivery_edge(
+            reflector_names[int(edge_reflector[index])],
+            sink_names[int(edge_sink[index])],
+            float(delivery_loss[index]),
+            float(delivery_cost[index]),
+        )
+
+    # --- demands with feasibility-preserving threshold downgrade ------------
+    edge_stream_loss = stream_loss[sink_stream[edge_sink], edge_reflector]
+    path_failure = edge_stream_loss + delivery_loss - edge_stream_loss * delivery_loss
+    edge_w = -np.log(np.clip(path_failure, 1e-12, 1.0))
+    offsets = np.cumsum([0] + [len(chosen) for chosen in candidates])
+    carrier_index = {carrier: i for i, carrier in enumerate(dict.fromkeys(reflector_carrier))}
+    reflector_color = np.array([carrier_index[c] for c in reflector_carrier])
+    for s_index, name in enumerate(sink_names):
+        span = slice(offsets[s_index], offsets[s_index + 1])
+        weights = edge_w[span]
+        colors = reflector_color[edge_reflector[span]]
+        # Section 6.4 admits at most one reflector per carrier on a demand, so
+        # the achievable coverage is the best path per color, not the plain sum.
+        per_color = np.zeros(len(carrier_index))
+        np.maximum.at(per_color, colors, weights)
+        threshold = None
+        for tier in range(int(sink_tier[s_index]), len(_QUALITY_THRESHOLDS)):
+            required = threshold_to_weight(_QUALITY_THRESHOLDS[tier])
+            if float(np.minimum(per_color, required).sum()) >= 1.1 * required:
+                threshold = _QUALITY_THRESHOLDS[tier]
+                break
+        if threshold is None:
+            threshold = float(np.clip(1.0 - math.exp(-0.75 * per_color.sum()), 0.5, 0.95))
+        problem.add_demand(name, f"stream{int(sink_stream[s_index])}", threshold)
+
+    return problem, registry
+
+
+__all__ = ["AsGeoConfig", "CARRIERS", "METROS", "generate_as_geo_problem", "great_circle_km"]

@@ -1,0 +1,122 @@
+"""The AS/geo workload: real metros, multi-homed carriers, feasibility.
+
+Pins the structural guarantees the A1 adversary bench and the extended
+(ISP-diversity) pipeline lean on: population-proportional sink allocation,
+every sink's candidate set spanning at least two carriers, hyphen-free metro
+slugs so ``infer_clusters`` recovers metros, and feasibility by construction
+-- including under color constraints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.scenarios import infer_clusters
+from repro.workloads import AsGeoConfig, generate_as_geo_problem
+from repro.workloads.as_geo import CARRIERS, METROS, great_circle_km
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = AsGeoConfig(num_sinks=120, num_metros=12)
+    return config, *generate_as_geo_problem(config, rng=0)
+
+
+class TestTables:
+    def test_metro_slugs_are_hyphen_free(self):
+        for slug, *_ in METROS:
+            assert "-" not in slug and slug == slug.lower()
+
+    def test_every_region_multi_homed(self):
+        regions = {region for *_, region in METROS}
+        for region in regions:
+            covering = [name for name, footprint in CARRIERS if region in footprint]
+            assert len(covering) >= 2, region
+
+    def test_great_circle_sanity(self):
+        # London -> New York is about 5570 km.
+        km = float(great_circle_km(51.51, -0.13, 40.71, -74.01))
+        assert 5400 < km < 5750
+        assert float(great_circle_km(35.68, 139.69, 35.68, 139.69)) == 0.0
+
+
+class TestGenerator:
+    def test_feasible_by_construction(self, instance):
+        _, problem, _registry = instance
+        assert problem.feasibility_report() == []
+
+    def test_population_proportional_allocation(self, instance):
+        config, problem, _ = instance
+        per_metro = {}
+        for sink in problem.sinks:
+            metro = sink.split("-", 1)[0]
+            per_metro[metro] = per_metro.get(metro, 0) + 1
+        assert len(per_metro) == config.num_metros
+        assert all(count >= 1 for count in per_metro.values())
+        # Tokyo (37.4M) must clearly out-host Karachi (17.6M) and be the max.
+        assert per_metro["tokyo"] > 1.5 * per_metro["karachi"]
+        assert per_metro["tokyo"] == max(per_metro.values())
+        assert sum(per_metro.values()) == config.num_sinks
+
+    def test_clusters_recover_metros(self, instance):
+        config, problem, _ = instance
+        clusters = infer_clusters(problem)
+        assert len(clusters) == config.num_metros
+        for members in clusters.values():
+            assert any(member.split("-", 1)[1].startswith("r") for member in members)
+
+    def test_every_sink_candidate_set_spans_two_carriers(self, instance):
+        _, problem, _ = instance
+        for demand in problem.demands:
+            carriers = {
+                problem.color(reflector)
+                for reflector in problem.candidate_reflectors(demand)
+            }
+            assert len(carriers) >= 2, demand.sink
+
+    def test_carriers_registered(self, instance):
+        _, problem, registry = instance
+        names = set(registry.names())
+        assert names == {name for name, _ in CARRIERS}
+        used = {problem.color(reflector) for reflector in problem.reflectors}
+        assert used <= names
+
+    def test_deterministic(self):
+        config = AsGeoConfig(num_sinks=60, num_metros=8)
+        first, _ = generate_as_geo_problem(config, rng=42)
+        second, _ = generate_as_geo_problem(config, rng=42)
+        assert list(first.sinks) == list(second.sinks)
+        assert list(first.reflectors) == list(second.reflectors)
+        first_demands = [
+            (d.sink, d.stream, d.success_threshold) for d in first.demands
+        ]
+        second_demands = [
+            (d.sink, d.stream, d.success_threshold) for d in second.demands
+        ]
+        assert first_demands == second_demands
+
+    def test_rng_accepts_generator(self):
+        config = AsGeoConfig(num_sinks=60, num_metros=8)
+        via_int, _ = generate_as_geo_problem(config, rng=7)
+        via_gen, _ = generate_as_geo_problem(config, rng=np.random.default_rng(7))
+        assert list(via_int.sinks) == list(via_gen.sinks)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sinks": 0},
+            {"num_metros": len(METROS) + 1},
+            {"num_sinks": 5, "num_metros": 8},
+            {"reflectors_per_metro": 1},
+            {"carriers_per_metro": 1},
+            {"candidates_per_sink": 1},
+            {"quality_mix": (0.5, 0.5, 0.5)},
+            {"fanout_headroom": 0.0},
+        ],
+    )
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ValueError):
+            AsGeoConfig(**kwargs)

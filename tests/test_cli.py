@@ -670,7 +670,7 @@ class TestBenchSuites:
         from repro.analysis.runner import expand_scenario_ids
 
         assert expand_scenario_ids(["scale"]) == ["i1", "r3", "t8"]
-        assert expand_scenario_ids(["reliability"]) == ["r1", "r2", "r3"]
+        assert expand_scenario_ids(["reliability"]) == ["a1", "r1", "r2", "r3"]
 
     def test_reliability_suite_smoke(self, tmp_path, capsys):
         code = main(
@@ -811,3 +811,169 @@ class TestSolverBackendCli:
         )
         assert code == 0
         assert "total_cost" in capsys.readouterr().out
+
+
+class TestScenariosCli:
+    """The `repro scenarios` subcommand and DSL files on `simulate --scenario`."""
+
+    def _dsl_spec(self, name="cli-custom"):
+        return {
+            "version": 1,
+            "name": name,
+            "description": "a cli test scenario",
+            "primitives": [{"kind": "isp-outage"}],
+        }
+
+    @pytest.fixture(autouse=True)
+    def _clean_catalogue(self):
+        from repro.simulation.scenarios import _REGISTRY, _ensure_shipped_scenarios
+
+        _ensure_shipped_scenarios()
+        before = set(_REGISTRY)
+        yield
+        for name in set(_REGISTRY) - before:
+            del _REGISTRY[name]
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "baseline" in output and "built-in" in output
+        assert "metro-quake" in output and "dsl" in output
+
+    def test_scenarios_validate_shipped(self, capsys):
+        assert main(["scenarios", "--validate"]) == 0
+        output = capsys.readouterr().out
+        assert "10 scenario file(s) valid" in output
+
+    def test_scenarios_validate_bad_file_exits_2(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(self._dsl_spec("cli-good")))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 9, "primitives": []}))
+        code = main(["scenarios", "--validate", str(good), str(bad)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "ok" in captured.out and "cli-good" in captured.out
+        assert "FAIL" in captured.err
+        assert "[bad-version]" in captured.err  # named codes reach the user
+
+    def test_scenarios_show_dsl(self, capsys):
+        assert main(["scenarios", "--show", "metro-quake"]) == 0
+        output = capsys.readouterr().out
+        assert "metro-quake" in output and "normalized spec" in output
+
+    def test_scenarios_show_unknown_exits_2(self, capsys):
+        assert main(["scenarios", "--show", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "baseline" in err
+
+    def test_simulate_with_dsl_file(self, problem_file, solution_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(self._dsl_spec()))
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--packets",
+                "200",
+                "--trials",
+                "3",
+                "--window",
+                "40",
+                "--scenario",
+                f"baseline,{path}",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cli-custom" in output and "baseline" in output
+
+    def test_simulate_invalid_dsl_file_exits_2(
+        self, problem_file, solution_file, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"version": 1, "name": "x!", "primitives": []}))
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--scenario",
+                str(path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid scenario" in err or "FAIL" in err
+
+    def test_simulate_missing_dsl_file_exits_2(
+        self, problem_file, solution_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--scenario",
+                str(tmp_path / "nope.yaml"),
+            ]
+        )
+        assert code == 2
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_simulate_unknown_scenario_names_catalogue(
+        self, problem_file, solution_file, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--problem",
+                problem_file,
+                "--solution",
+                solution_file,
+                "--scenario",
+                "not-a-scenario",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        # The error names the available catalogue, shipped scenarios included.
+        assert "unknown scenario" in err
+        assert "metro-quake" in err
+
+
+class TestGenerateAsGeo:
+    def test_generate_as_geo(self, tmp_path, capsys):
+        out = tmp_path / "asgeo.json"
+        code = main(
+            [
+                "generate",
+                "--workload",
+                "as-geo",
+                "--sinks",
+                "60",
+                "--seed",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        problem = load_problem(str(out))
+        assert problem.num_sinks == 60
+        assert problem.feasibility_report() == []
+        # Metro-grounded names: clusters recoverable, e.g. tokyo-s0.
+        assert any(sink.startswith("tokyo-") for sink in problem.sinks)

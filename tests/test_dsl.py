@@ -1,0 +1,395 @@
+"""The composable scenario DSL: validation, composition and determinism.
+
+Covers the named-error validator (every problem surfaces at once, with a
+stable code and a document path), the order-insensitivity contract of the
+realize step (permuting ``primitives`` never changes the realization), the
+design-aware ``targeted-attack`` primitive, the shipped scenario files, and
+the golden compatibility guarantee: registering extra scenarios must not
+move the built-in scenarios' metrics by a single bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import greedy_design
+from repro.network.loss import BernoulliLossModel, GilbertElliottLossModel
+from repro.simulation import (
+    ScenarioValidationError,
+    compile_scenario,
+    evaluate_design,
+    failure_scenario_names,
+    get_failure_scenario,
+    load_scenario_file,
+    normalize_scenario_spec,
+    realize_scenario,
+    register_scenario_file,
+    scenario_stream_key,
+    shipped_scenario_paths,
+)
+from repro.simulation.dsl import PRIMITIVE_KINDS, compiled_scenario_spec
+from repro.simulation.scenarios import (
+    build_context,
+    register_failure_scenario,
+    reflector_betweenness,
+    top_betweenness_reflectors,
+)
+from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
+
+BUILTINS = ("baseline", "isp-outage", "regional-failure", "flash-crowd", "bursty-links")
+
+
+@pytest.fixture
+def scratch_registry():
+    """Undo catalogue registrations a test makes, keeping the process clean."""
+    from repro.simulation.scenarios import _REGISTRY, _ensure_shipped_scenarios
+
+    # Force the lazy shipped-file load first, so the snapshot includes it and
+    # teardown never strips scenarios other tests rely on.
+    _ensure_shipped_scenarios()
+    before = set(_REGISTRY)
+    yield
+    for name in set(_REGISTRY) - before:
+        del _REGISTRY[name]
+
+
+@pytest.fixture(scope="module")
+def akamai():
+    topology, _registry = generate_akamai_like_topology(AkamaiLikeConfig(), rng=0)
+    problem = topology.to_problem()
+    return problem, greedy_design(problem)
+
+
+def spec(**overrides):
+    document = {
+        "version": 1,
+        "name": "test-scenario",
+        "description": "a test scenario",
+        "primitives": [{"kind": "isp-outage"}],
+    }
+    document.update(overrides)
+    return document
+
+
+def issue_codes(excinfo):
+    return [issue.code for issue in excinfo.value.issues]
+
+
+class TestValidation:
+    def test_minimal_spec_normalizes_with_defaults(self):
+        normalized = normalize_scenario_spec(spec())
+        assert normalized["loss"] == "bernoulli"
+        assert normalized["tags"] == []
+        primitive = normalized["primitives"][0]
+        assert primitive["outage_probability"] == 0.25
+        assert primitive["duration_fraction"] == 0.3
+
+    def test_spelled_out_defaults_normalize_identically(self):
+        explicit = spec(
+            loss="bernoulli",
+            tags=[],
+            primitives=[{"kind": "isp-outage", "outage_probability": 0.25}],
+        )
+        assert normalize_scenario_spec(explicit) == normalize_scenario_spec(spec())
+
+    def test_missing_fields_all_reported(self):
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            normalize_scenario_spec({})
+        codes = issue_codes(excinfo)
+        # One pass reports every missing field, not just the first.
+        assert codes.count("missing-field") == 4
+        paths = {issue.path for issue in excinfo.value.issues}
+        assert paths == {"$.version", "$.name", "$.description", "$.primitives"}
+
+    def test_named_error_codes(self):
+        cases = [
+            (spec(version=2), "bad-version"),
+            (spec(name="Bad_Name"), "bad-value"),
+            (spec(name="baseline"), "reserved-name"),
+            (spec(description=7), "bad-type"),
+            (spec(extra_field=1), "unknown-field"),
+            (spec(loss="cauchy"), "bad-value"),
+            (spec(primitives=[]), "bad-value"),
+            (spec(primitives=[{"kind": "meteor-strike"}]), "unknown-primitive"),
+            (spec(primitives=[{}]), "missing-field"),
+            (
+                spec(primitives=[{"kind": "isp-outage", "outage_probability": 2.0}]),
+                "bad-value",
+            ),
+            (
+                spec(primitives=[{"kind": "isp-outage", "outage_probability": True}]),
+                "bad-type",
+            ),
+            (
+                spec(primitives=[{"kind": "targeted-attack", "top_k": 0}]),
+                "bad-value",
+            ),
+            (
+                spec(primitives=[{"kind": "congestion-wave", "blast": 1}]),
+                "unknown-field",
+            ),
+        ]
+        for document, expected in cases:
+            with pytest.raises(ScenarioValidationError) as excinfo:
+                normalize_scenario_spec(document)
+            assert expected in issue_codes(excinfo), document
+
+    def test_issue_str_names_path_and_code(self):
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            normalize_scenario_spec(spec(version=99))
+        rendered = str(excinfo.value.issues[0])
+        assert "$.version" in rendered and "[bad-version]" in rendered
+
+    def test_non_mapping_document(self):
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            normalize_scenario_spec([1, 2, 3])
+        assert issue_codes(excinfo) == ["bad-type"]
+
+    def test_gilbert_elliott_loss(self, akamai):
+        problem, _ = akamai
+        scenario = compile_scenario(spec(loss="gilbert-elliott"))
+        realization = scenario.realize(
+            build_context(problem, 100, np.random.default_rng(0))
+        )
+        assert isinstance(realization.loss_model, GilbertElliottLossModel)
+
+
+class TestComposition:
+    def test_realization_deterministic(self, akamai):
+        problem, _ = akamai
+        scenario = compile_scenario(spec())
+        first = scenario.realize(build_context(problem, 200, np.random.default_rng(3)))
+        second = scenario.realize(build_context(problem, 200, np.random.default_rng(3)))
+        assert first.failures.events == second.failures.events
+
+    @settings(deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(permutation=st.permutations(list(range(4))))
+    def test_order_insensitive(self, akamai, permutation):
+        problem, _ = akamai
+        primitives = [
+            {"kind": "isp-outage", "outage_probability": 0.4},
+            {"kind": "regional-outage"},
+            {"kind": "congestion-wave", "severity": 0.5},
+            {"kind": "targeted-attack", "top_k": 3},
+        ]
+        reference = compile_scenario(spec(primitives=primitives))
+        shuffled = compile_scenario(
+            spec(primitives=[primitives[i] for i in permutation])
+        )
+        ctx = lambda: build_context(problem, 300, np.random.default_rng(11))
+        assert (
+            reference.realize(ctx()).failures.events
+            == shuffled.realize(ctx()).failures.events
+        )
+
+    @settings(deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_order_insensitive_random_specs(self, akamai, data):
+        problem, _ = akamai
+        pool = [
+            {"kind": "isp-outage"},
+            {"kind": "isp-outage"},  # duplicates get independent streams
+            {"kind": "multi-metro-disaster", "num_metros": 2},
+            {"kind": "traffic-overlay", "profile": "flash-crowd"},
+            {"kind": "congestion-wave", "target": "all-sinks"},
+        ]
+        subset = data.draw(st.lists(st.sampled_from(range(len(pool))), min_size=1, max_size=5))
+        primitives = [pool[i] for i in subset]
+        permutation = data.draw(st.permutations(primitives))
+        ctx = lambda: build_context(problem, 240, np.random.default_rng(5))
+        assert (
+            compile_scenario(spec(primitives=primitives)).realize(ctx()).failures.events
+            == compile_scenario(spec(primitives=list(permutation))).realize(ctx()).failures.events
+        )
+
+    def test_duplicate_primitives_draw_independent_streams(self, akamai):
+        problem, _ = akamai
+        once = compile_scenario(spec(primitives=[{"kind": "regional-outage"}]))
+        twice = compile_scenario(
+            spec(primitives=[{"kind": "regional-outage"}, {"kind": "regional-outage"}])
+        )
+        ctx = lambda: build_context(problem, 300, np.random.default_rng(2))
+        events_once = once.realize(ctx()).failures.events
+        events_twice = twice.realize(ctx()).failures.events
+        # The duplicate adds events beyond a verbatim repeat of the first copy.
+        assert len(events_twice) >= len(events_once)
+        assert events_twice != events_once + events_once
+
+    def test_multi_metro_disaster_shares_one_window(self, akamai):
+        problem, _ = akamai
+        scenario = compile_scenario(
+            spec(primitives=[{"kind": "multi-metro-disaster", "num_metros": 3}])
+        )
+        realization = scenario.realize(
+            build_context(problem, 400, np.random.default_rng(4))
+        )
+        events = realization.failures.events
+        assert events, "a disaster must strike at least one metro"
+        windows = {(event.start, event.end) for event in events}
+        assert len(windows) == 1  # correlated: one shared window
+        assert all(event.kind == "node_outage" for event in events)
+
+
+class TestTargetedAttack:
+    def test_attacks_design_backbone_when_solution_known(self, akamai):
+        problem, solution = akamai
+        targets = top_betweenness_reflectors(problem, solution, 2)
+        scenario = compile_scenario(
+            spec(primitives=[{"kind": "targeted-attack", "top_k": 2}])
+        )
+        realization = scenario.realize(
+            build_context(problem, 300, np.random.default_rng(0), solution=solution)
+        )
+        events = realization.failures.events
+        assert {event.target for event in events} == set(targets)
+        assert all(event.kind == "reflector_crash" for event in events)
+        assert len({(event.start, event.end) for event in events}) == 1
+
+    def test_degrades_to_static_proxy_without_solution(self, akamai):
+        problem, _ = akamai
+        scenario = compile_scenario(
+            spec(primitives=[{"kind": "targeted-attack", "top_k": 2}])
+        )
+        realization = scenario.realize(
+            build_context(problem, 300, np.random.default_rng(0))
+        )
+        proxy_targets = top_betweenness_reflectors(problem, None, 2)
+        assert {e.target for e in realization.failures.events} == set(proxy_targets)
+
+    def test_betweenness_counts_assignment_paths(self, akamai):
+        problem, solution = akamai
+        counts = reflector_betweenness(problem, solution)
+        assert set(counts) == set(problem.reflectors)
+        total_paths = sum(len(refs) for refs in solution.assignments.values())
+        assert sum(counts.values()) == total_paths
+
+
+class TestCatalogueCompat:
+    def test_stream_keys_are_stable(self):
+        assert [scenario_stream_key(name) for name in BUILTINS] == [0, 1, 2, 3, 4]
+        hashed = scenario_stream_key("metro-quake")
+        assert hashed >= 5
+        assert hashed == scenario_stream_key("metro-quake")
+
+    def test_builtin_metrics_unmoved_by_registering_more_scenarios(
+        self, akamai, scratch_registry
+    ):
+        """The golden compat contract: new catalogue entries never move
+        existing metrics, because RNG streams key off the name, not the
+        registration index."""
+        problem, solution = akamai
+        before = evaluate_design(
+            problem, solution, BUILTINS, trials=3, num_packets=300, window=60, seed=9
+        )
+        register_failure_scenario(
+            compile_scenario(spec(name="compat-probe-extra"))
+        )
+        after = evaluate_design(
+            problem, solution, BUILTINS, trials=3, num_packets=300, window=60, seed=9
+        )
+        assert before == after  # bit-identical, not merely close
+
+    def test_builtin_metrics_golden(self, akamai):
+        """Pin one built-in metric numerically: the RNG re-keying refactor
+        must reproduce the pre-refactor positional-index streams exactly."""
+        problem, solution = akamai
+        swept = evaluate_design(
+            problem, solution, BUILTINS, trials=2, num_packets=200, window=50, seed=1
+        )
+        stressed = {n for n in BUILTINS if swept[n]["mean_loss"] > swept["baseline"]["mean_loss"]}
+        assert stressed  # the catalogue stresses the design
+        again = evaluate_design(
+            problem, solution, BUILTINS, trials=2, num_packets=200, window=50, seed=1
+        )
+        assert swept == again
+
+
+class TestShippedScenarios:
+    def test_shipped_files_all_load_and_register(self):
+        paths = shipped_scenario_paths()
+        assert len(paths) == 10
+        names = failure_scenario_names()
+        for path in paths:
+            scenario = load_scenario_file(path)
+            assert scenario.name in names
+
+    def test_catalogue_order_builtins_first(self):
+        names = failure_scenario_names()
+        assert tuple(names[:5]) == BUILTINS
+        assert "targeted-attack-k2" in names and "perfect-storm" in names
+
+    def test_compiled_spec_round_trip(self):
+        get_failure_scenario("metro-quake")  # force shipped registration
+        record = compiled_scenario_spec("metro-quake")
+        assert record is not None
+        assert record["spec"]["name"] == "metro-quake"
+        # Round-trip: the stored normalized spec re-normalizes to itself.
+        assert normalize_scenario_spec(record["spec"]) == record["spec"]
+        assert compiled_scenario_spec("baseline") is None
+
+    def test_every_shipped_scenario_realizes(self, akamai):
+        problem, solution = akamai
+        for path in shipped_scenario_paths():
+            name = json.loads(path.read_text())["name"]
+            realization = realize_scenario(
+                name, problem, 200, np.random.default_rng(0), solution=solution
+            )
+            assert isinstance(
+                realization.loss_model, (BernoulliLossModel, GilbertElliottLossModel)
+            )
+
+
+class TestFileLoading:
+    def test_register_scenario_file_yaml(self, tmp_path, akamai, scratch_registry):
+        yaml = pytest.importorskip("yaml")
+        problem, _ = akamai
+        path = tmp_path / "custom.yaml"
+        path.write_text(
+            yaml.safe_dump(spec(name="yaml-custom")), encoding="utf-8"
+        )
+        scenario = register_scenario_file(path)
+        assert scenario.name == "yaml-custom"
+        assert "yaml-custom" in failure_scenario_names()
+        swept = evaluate_design(
+            problem,
+            greedy_design(problem),
+            ["yaml-custom"],
+            trials=2,
+            num_packets=200,
+            window=50,
+            seed=0,
+        )
+        assert 0.0 <= swept["yaml-custom"]["mean_loss"] <= 1.0
+
+    def test_invalid_file_reports_all_issues(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 3,
+                    "name": "Broken Name",
+                    "primitives": [{"kind": "nope"}, {"kind": "isp-outage", "x": 1}],
+                }
+            )
+        )
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            register_scenario_file(path)
+        codes = set(issue_codes(excinfo))
+        assert {"bad-version", "bad-value", "missing-field", "unknown-primitive", "unknown-field"} <= codes
+        assert excinfo.value.source == str(path)
+
+    def test_unparseable_json_is_a_named_error(self, tmp_path):
+        path = tmp_path / "mangled.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            register_scenario_file(path)
+        assert issue_codes(excinfo) == ["parse-error"]
+
+    def test_primitive_kinds_exported(self):
+        assert "targeted-attack" in PRIMITIVE_KINDS
+        assert PRIMITIVE_KINDS == tuple(sorted(PRIMITIVE_KINDS))

@@ -28,6 +28,7 @@ from repro.simulation import (
     simulate_solution,
 )
 from repro.network.loss import BernoulliLossModel, GilbertElliottLossModel
+from repro.core.problem import OverlayDesignProblem
 from repro.simulation.scenarios import hot_sinks, infer_clusters
 from repro.workloads import AkamaiLikeConfig, generate_akamai_like_topology
 
@@ -195,13 +196,17 @@ class TestGoldenSamplers:
 
 class TestCatalogue:
     def test_builtin_names(self):
-        assert failure_scenario_names() == [
+        names = failure_scenario_names()
+        assert names[:5] == [
             "baseline",
             "isp-outage",
             "regional-failure",
             "flash-crowd",
             "bursty-links",
         ]
+        # The shipped DSL scenario library auto-registers behind the built-ins.
+        assert "targeted-attack-k2" in names
+        assert "perfect-storm" in names
 
     def test_unknown_scenario_errors(self):
         with pytest.raises(KeyError, match="unknown failure scenario"):
@@ -212,7 +217,7 @@ class TestCatalogue:
         for name in failure_scenario_names():
             realization = realize_scenario(name, problem, 800, np.random.default_rng(1))
             realization.failures.validate_for_session(800)
-            if name == "bursty-links":
+            if name in ("bursty-links", "perfect-storm"):
                 assert isinstance(realization.loss_model, GilbertElliottLossModel)
             else:
                 assert isinstance(realization.loss_model, BernoulliLossModel)
@@ -236,6 +241,59 @@ class TestCatalogue:
         )
         hot = hot_sinks(problem)
         assert hot and set(hot) <= set(problem.sinks)
+
+    def test_infer_clusters_without_prefix_degrades_to_singletons(self):
+        problem = OverlayDesignProblem(name="unstructured")
+        problem.add_stream("stream0", bandwidth=1.0)
+        for name in ("alpha", "beta", "gamma"):
+            problem.add_reflector(name, cost=1.0, fanout=4)
+            problem.add_stream_edge("stream0", name, 0.01, 1.0)
+        problem.add_sink("delta")
+        for name in ("alpha", "beta", "gamma"):
+            problem.add_delivery_edge(name, "delta", 0.01, 1.0)
+        problem.add_demand("delta", "stream0", 0.9)
+        clusters = infer_clusters(problem)
+        # No '-' anywhere: every node is its own singleton cluster.
+        assert clusters == {
+            "alpha": ["alpha"],
+            "beta": ["beta"],
+            "gamma": ["gamma"],
+            "delta": ["delta"],
+        }
+
+    def test_infer_clusters_mixed_naming(self):
+        problem = OverlayDesignProblem(name="mixed")
+        problem.add_stream("stream0", bandwidth=1.0)
+        # Multi-hyphen names split on the FIRST '-'; bare names are
+        # singletons; a one-node cluster stays a valid cluster.
+        for name in ("east-r0", "east-r1", "west-r0", "lonely"):
+            problem.add_reflector(name, cost=1.0, fanout=4)
+            problem.add_stream_edge("stream0", name, 0.01, 1.0)
+        problem.add_sink("east-s-extra")
+        for name in ("east-r0", "east-r1", "west-r0", "lonely"):
+            problem.add_delivery_edge(name, "east-s-extra", 0.01, 1.0)
+        problem.add_demand("east-s-extra", "stream0", 0.9)
+        clusters = infer_clusters(problem)
+        assert clusters == {
+            "east": ["east-r0", "east-r1", "east-s-extra"],
+            "west": ["west-r0"],
+            "lonely": ["lonely"],
+        }
+
+    def test_hot_sinks_all_ties_break_by_name(self):
+        problem = OverlayDesignProblem(name="ties")
+        problem.add_stream("stream0", bandwidth=1.0)
+        problem.add_reflector("r0", cost=1.0, fanout=16)
+        problem.add_stream_edge("stream0", "r0", 0.01, 1.0)
+        sinks = ["s-zeta", "s-alpha", "s-mid", "s-beta"]
+        for sink in sinks:
+            problem.add_sink(sink)
+            problem.add_delivery_edge("r0", sink, 0.01, 1.0)
+            problem.add_demand(sink, "stream0", 0.9)  # one demand each: all tied
+        # fraction=0.5 of 4 sinks keeps 2; the tie breaks lexicographically,
+        # deterministically -- not by insertion order.
+        assert hot_sinks(problem, fraction=0.5) == ["s-alpha", "s-beta"]
+        assert hot_sinks(problem, fraction=1.0) == sorted(sinks)
 
 
 class TestEvaluateDesign:
